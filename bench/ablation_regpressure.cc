@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Ablation D: register-aware partitioning. The paper observes that
+ * its partitioner "ignores register pressure, and then it tends to
+ * schedule operations in the fewest number of clusters, which may
+ * increase the register pressure" (Section 4.2) and names
+ * pressure-aware partitioning as future work. This harness
+ * implements that suggestion (PartitionEstimator's register-aware
+ * term) and measures what it buys on the register-starved
+ * configurations.
+ */
+
+#include <iostream>
+
+#include "core/pipeline.hh"
+#include "machine/configs.hh"
+#include "support/table.hh"
+#include "workload/specfp.hh"
+
+using namespace gpsched;
+
+int
+main()
+{
+    LatencyTable lat;
+    auto suite = specFp95Suite(lat);
+
+    TextTable table({"configuration", "GP (paper)",
+                     "GP register-aware", "gain"});
+    struct Case
+    {
+        const char *name;
+        MachineConfig m;
+    };
+    std::vector<Case> cases = {
+        {"2-cluster, 32 regs, lat 1", twoClusterConfig(32, 1)},
+        {"4-cluster, 32 regs, lat 1", fourClusterConfig(32, 1)},
+        {"4-cluster, 64 regs, lat 1", fourClusterConfig(64, 1)},
+        {"4-cluster, 32 regs, lat 2", fourClusterConfig(32, 2)},
+    };
+    for (const Case &c : cases) {
+        LoopCompilerOptions plain;
+        LoopCompilerOptions aware;
+        aware.partitioner.registerAware = true;
+        double p =
+            compileSuite(suite, c.m, SchedulerKind::Gp, plain)
+                .meanIpc;
+        double a =
+            compileSuite(suite, c.m, SchedulerKind::Gp, aware)
+                .meanIpc;
+        table.addRow({c.name, TextTable::num(p), TextTable::num(a),
+                      TextTable::num(100.0 * (a / p - 1.0), 1) +
+                          "%"});
+    }
+    table.print(std::cout,
+                "Ablation D: register-aware partitioning (the "
+                "paper's Section-4.2 future work)");
+    return 0;
+}

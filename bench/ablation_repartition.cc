@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Ablation B (DESIGN.md): the Figure-1 re-partition decision. The
+ * paper concludes that selectively recomputing the partition (only
+ * when IIbus > II) is the most effective scheme; this harness
+ * compares Never / Selective / Always on suite IPC and scheduling
+ * time.
+ */
+
+#include <iostream>
+
+#include "core/pipeline.hh"
+#include "machine/configs.hh"
+#include "support/table.hh"
+#include "workload/specfp.hh"
+
+using namespace gpsched;
+
+int
+main()
+{
+    LatencyTable lat;
+    auto suite = specFp95Suite(lat);
+
+    TextTable table({"configuration", "policy", "mean IPC",
+                     "sched (s)"});
+    struct Case
+    {
+        const char *name;
+        MachineConfig m;
+    };
+    std::vector<Case> cases = {
+        {"2-cluster, 32 regs, lat 1", twoClusterConfig(32, 1)},
+        {"4-cluster, 32 regs, lat 1", fourClusterConfig(32, 1)},
+        {"4-cluster, 32 regs, lat 2", fourClusterConfig(32, 2)},
+    };
+    struct Policy
+    {
+        const char *name;
+        RepartitionPolicy policy;
+    };
+    std::vector<Policy> policies = {
+        {"never", RepartitionPolicy::Never},
+        {"selective", RepartitionPolicy::Selective},
+        {"always", RepartitionPolicy::Always},
+    };
+    bool first = true;
+    for (const Case &c : cases) {
+        if (!first)
+            table.addSeparator();
+        first = false;
+        for (const Policy &p : policies) {
+            LoopCompilerOptions options;
+            options.repartition = p.policy;
+            SuiteResult r =
+                compileSuite(suite, c.m, SchedulerKind::Gp, options);
+            table.addRow({c.name, p.name,
+                          TextTable::num(r.meanIpc),
+                          TextTable::num(r.schedSeconds, 3)});
+        }
+    }
+    table.print(std::cout,
+                "Ablation B: GP re-partition policy (paper: "
+                "selective wins)");
+    return 0;
+}

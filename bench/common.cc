@@ -1,0 +1,80 @@
+#include "common.hh"
+
+#include <iostream>
+
+#include "core/metrics.hh"
+#include "machine/configs.hh"
+#include "support/table.hh"
+
+namespace gpsched::bench
+{
+
+FigurePanel
+runPanel(const std::vector<Program> &suite,
+         const MachineConfig &clustered, const std::string &title,
+         const LoopCompilerOptions &options)
+{
+    FigurePanel panel;
+    panel.title = title;
+
+    MachineConfig unified = unifiedConfig(clustered.totalRegs());
+    SuiteResult u =
+        compileSuite(suite, unified, SchedulerKind::Uracam, options);
+    SuiteResult ur =
+        compileSuite(suite, clustered, SchedulerKind::Uracam, options);
+    SuiteResult fx = compileSuite(suite, clustered,
+                                  SchedulerKind::FixedPartition,
+                                  options);
+    SuiteResult gp =
+        compileSuite(suite, clustered, SchedulerKind::Gp, options);
+
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        FigureRow row;
+        row.program = suite[i].name;
+        row.unified = u.programs[i].ipc;
+        row.uracam = ur.programs[i].ipc;
+        row.fixed = fx.programs[i].ipc;
+        row.gp = gp.programs[i].ipc;
+        panel.rows.push_back(row);
+    }
+    FigureRow avg;
+    avg.program = "average";
+    avg.unified = u.meanIpc;
+    avg.uracam = ur.meanIpc;
+    avg.fixed = fx.meanIpc;
+    avg.gp = gp.meanIpc;
+    panel.rows.push_back(avg);
+
+    panel.unifiedSeconds = u.schedSeconds;
+    panel.uracamSeconds = ur.schedSeconds;
+    panel.fixedSeconds = fx.schedSeconds;
+    panel.gpSeconds = gp.schedSeconds;
+    return panel;
+}
+
+void
+printPanel(const FigurePanel &panel)
+{
+    TextTable table({"program", "unified", "URACAM", "Fixed", "GP"});
+    for (const FigureRow &row : panel.rows) {
+        if (row.program == "average")
+            table.addSeparator();
+        table.addRow({row.program, TextTable::num(row.unified),
+                      TextTable::num(row.uracam),
+                      TextTable::num(row.fixed),
+                      TextTable::num(row.gp)});
+    }
+    table.print(std::cout, panel.title);
+
+    const FigureRow &avg = panel.rows.back();
+    std::cout << "  GP vs URACAM: "
+              << TextTable::num(ipcGainPercent(avg.gp, avg.uracam), 1)
+              << "%   GP vs Fixed: "
+              << TextTable::num(ipcGainPercent(avg.gp, avg.fixed), 1)
+              << "%   GP vs unified: "
+              << TextTable::num(ipcGainPercent(avg.gp, avg.unified),
+                                1)
+              << "%\n\n";
+}
+
+} // namespace gpsched::bench

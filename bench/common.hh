@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shared plumbing for the paper-reproduction bench harnesses: run
+ * the synthetic SPECfp95 suite under every scheme on one machine and
+ * print per-program IPC rows the way Figures 2/3 report them.
+ */
+
+#ifndef GPSCHED_BENCH_COMMON_HH
+#define GPSCHED_BENCH_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hh"
+#include "machine/machine.hh"
+
+namespace gpsched::bench
+{
+
+/** Per-program IPC of the four evaluated bars. */
+struct FigureRow
+{
+    std::string program;
+    double unified = 0.0;
+    double uracam = 0.0;
+    double fixed = 0.0;
+    double gp = 0.0;
+};
+
+/** One figure panel: a clustered machine and its four bars. */
+struct FigurePanel
+{
+    std::string title;
+    std::vector<FigureRow> rows; ///< per program + trailing average
+    double uracamSeconds = 0.0;  ///< scheduling CPU time totals
+    double fixedSeconds = 0.0;
+    double gpSeconds = 0.0;
+    double unifiedSeconds = 0.0;
+};
+
+/**
+ * Compiles @p suite with the unified baseline (same total registers)
+ * and with URACAM / Fixed / GP on @p clustered, producing the rows
+ * of one Figure-2/3 panel.
+ */
+FigurePanel runPanel(const std::vector<Program> &suite,
+                     const MachineConfig &clustered,
+                     const std::string &title,
+                     const LoopCompilerOptions &options = {});
+
+/** Prints @p panel as an aligned table with a gain summary. */
+void printPanel(const FigurePanel &panel);
+
+} // namespace gpsched::bench
+
+#endif // GPSCHED_BENCH_COMMON_HH

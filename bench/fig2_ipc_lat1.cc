@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Regenerates paper Figure 2: IPC of unified / URACAM / Fixed
+ * Partition / GP per SPECfp95 program on the 2-cluster (top) and
+ * 4-cluster (bottom) machines with one 1-cycle bus, at 32 and 64
+ * total registers.
+ */
+
+#include "common.hh"
+#include "machine/configs.hh"
+#include "workload/specfp.hh"
+
+using namespace gpsched;
+using namespace gpsched::bench;
+
+int
+main()
+{
+    LatencyTable lat;
+    auto suite = specFp95Suite(lat);
+
+    for (int regs : {32, 64}) {
+        printPanel(runPanel(
+            suite, twoClusterConfig(regs, 1),
+            "Figure 2(a): IPC, 2-cluster, 1 bus (latency 1), " +
+                std::to_string(regs) + " registers"));
+    }
+    for (int regs : {32, 64}) {
+        printPanel(runPanel(
+            suite, fourClusterConfig(regs, 1),
+            "Figure 2(b): IPC, 4-cluster, 1 bus (latency 1), " +
+                std::to_string(regs) + " registers"));
+    }
+    return 0;
+}

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Regenerates paper Figure 3: IPC of unified / URACAM / Fixed
+ * Partition / GP on the 4-cluster machine with one 2-cycle bus, at
+ * 32 and 64 total registers.
+ */
+
+#include "common.hh"
+#include "machine/configs.hh"
+#include "workload/specfp.hh"
+
+using namespace gpsched;
+using namespace gpsched::bench;
+
+int
+main()
+{
+    LatencyTable lat;
+    auto suite = specFp95Suite(lat);
+    for (int regs : {32, 64}) {
+        printPanel(runPanel(
+            suite, fourClusterConfig(regs, 2),
+            "Figure 3: IPC, 4-cluster, 1 bus (latency 2), " +
+                std::to_string(regs) + " registers"));
+    }
+    return 0;
+}

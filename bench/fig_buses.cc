@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Checks the paper's side claim that "results for two buses follow a
+ * similar trend" (Section 4.1): repeats the Figure 2/3 averages with
+ * a second inter-cluster bus and prints both series side by side.
+ */
+
+#include <iostream>
+
+#include "core/pipeline.hh"
+#include "machine/configs.hh"
+#include "support/table.hh"
+#include "workload/specfp.hh"
+
+using namespace gpsched;
+
+namespace
+{
+
+struct Row
+{
+    double uracam = 0.0;
+    double fixed = 0.0;
+    double gp = 0.0;
+};
+
+Row
+averages(const std::vector<Program> &suite, const MachineConfig &m)
+{
+    Row row;
+    row.uracam =
+        compileSuite(suite, m, SchedulerKind::Uracam).meanIpc;
+    row.fixed =
+        compileSuite(suite, m, SchedulerKind::FixedPartition).meanIpc;
+    row.gp = compileSuite(suite, m, SchedulerKind::Gp).meanIpc;
+    return row;
+}
+
+} // namespace
+
+int
+main()
+{
+    LatencyTable lat;
+    auto suite = specFp95Suite(lat);
+
+    TextTable table({"configuration", "buses", "URACAM", "Fixed",
+                     "GP", "GP/URACAM"});
+    struct Case
+    {
+        const char *name;
+        int clusters;
+        int regs;
+        int bus_lat;
+    };
+    std::vector<Case> cases = {
+        {"2-cluster, 32 regs, lat 1", 2, 32, 1},
+        {"4-cluster, 32 regs, lat 1", 4, 32, 1},
+        {"4-cluster, 32 regs, lat 2", 4, 32, 2},
+    };
+    bool first = true;
+    for (const Case &c : cases) {
+        if (!first)
+            table.addSeparator();
+        first = false;
+        for (int buses : {1, 2}) {
+            MachineConfig m =
+                c.clusters == 2
+                    ? twoClusterConfig(c.regs, c.bus_lat, buses)
+                    : fourClusterConfig(c.regs, c.bus_lat, buses);
+            Row row = averages(suite, m);
+            table.addRow({c.name, std::to_string(buses),
+                          TextTable::num(row.uracam),
+                          TextTable::num(row.fixed),
+                          TextTable::num(row.gp),
+                          TextTable::num(
+                              100.0 * (row.gp / row.uracam - 1.0),
+                              1) +
+                              "%"});
+        }
+    }
+    table.print(std::cout,
+                "Two-bus check (paper: \"results for two buses "
+                "follow a similar trend\")");
+    return 0;
+}

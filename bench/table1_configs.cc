@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Regenerates paper Table 1: the clustered VLIW configurations and
+ * the operation latencies used throughout the evaluation.
+ */
+
+#include <iostream>
+
+#include "machine/configs.hh"
+#include "support/table.hh"
+
+using namespace gpsched;
+
+int
+main()
+{
+    TextTable configs({"configuration", "clusters", "INT/cl", "FP/cl",
+                       "MEM/cl", "issue", "regs", "buses",
+                       "bus lat"});
+    for (const MachineConfig &m : table1Configs()) {
+        configs.addRow({m.name(), std::to_string(m.numClusters()),
+                        std::to_string(m.fuPerCluster(FuClass::Int)),
+                        std::to_string(m.fuPerCluster(FuClass::Fp)),
+                        std::to_string(m.fuPerCluster(FuClass::Mem)),
+                        std::to_string(m.totalIssueWidth()),
+                        std::to_string(m.totalRegs()),
+                        std::to_string(m.numBuses()),
+                        std::to_string(m.busLatency())});
+    }
+    configs.print(std::cout,
+                  "Table 1: clustered VLIW configurations (12-issue)");
+
+    LatencyTable lat;
+    TextTable lats({"operation", "latency", "occupancy"});
+    for (Opcode op :
+         {Opcode::IAlu, Opcode::IMul, Opcode::IDiv, Opcode::FAdd,
+          Opcode::FMul, Opcode::FDiv, Opcode::Load, Opcode::Store}) {
+        lats.addRow({toString(op), std::to_string(lat.latency(op)),
+                     std::to_string(lat.occupancy(op))});
+    }
+    lats.print(std::cout,
+               "Table 1 (cont.): operation latencies "
+               "(companion-paper values; DESIGN.md subst. 3)");
+    return 0;
+}

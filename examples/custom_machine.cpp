@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Design-space exploration with a custom machine: how does the GP
+ * scheme behave as the cluster count, bus latency, bus count and
+ * register budget vary beyond the paper's Table 1? Sweeps a small
+ * grid and prints mean suite IPC per point — the kind of study a
+ * DSP architect would run with this library.
+ *
+ * Run: ./build/examples/custom_machine
+ */
+
+#include <iostream>
+
+#include "core/pipeline.hh"
+#include "machine/machine.hh"
+#include "support/table.hh"
+#include "workload/specfp.hh"
+
+using namespace gpsched;
+
+int
+main()
+{
+    LatencyTable lat;
+    auto suite = specFp95Suite(lat);
+
+    // Custom latencies are just a table away: model a target whose
+    // FP multiplier is slower than the default.
+    LatencyTable slow_fmul = lat;
+    slow_fmul.setTiming(Opcode::FMul, OpTiming{6, 1});
+
+    TextTable table({"clusters", "regs", "buses", "bus lat",
+                     "GP IPC", "GP IPC (slow fmul)"});
+    for (int clusters : {2, 4}) {
+        for (int regs : {32, 64}) {
+            for (int buses : {1, 2}) {
+                for (int bus_lat : {1, 2}) {
+                    int per = 12 / clusters / 3;
+                    MachineConfig m("custom", clusters, per, per, per,
+                                    regs, buses, bus_lat);
+                    double ipc =
+                        compileSuite(suite, m, SchedulerKind::Gp)
+                            .meanIpc;
+                    MachineConfig slow = m;
+                    slow.latencies() = slow_fmul;
+                    double ipc_slow =
+                        compileSuite(suite, slow, SchedulerKind::Gp)
+                            .meanIpc;
+                    table.addRow({std::to_string(clusters),
+                                  std::to_string(regs),
+                                  std::to_string(buses),
+                                  std::to_string(bus_lat),
+                                  TextTable::num(ipc),
+                                  TextTable::num(ipc_slow)});
+                }
+            }
+        }
+    }
+    table.print(std::cout,
+                "GP mean IPC across a custom design space "
+                "(12-issue total)");
+    std::cout << "\nTakeaways to look for: a second bus recovers "
+                 "most of the latency-2 loss;\nregister-starved "
+                 "4-cluster machines leave IPC on the table.\n";
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Dump a modulo-scheduled kernel the way a code generator would see
+ * it: per-cluster issue slots for every kernel cycle, with the
+ * inter-cluster transfers and spill code the scheduler inserted.
+ *
+ * Run: ./build/examples/kernel_dump
+ */
+
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/ddg_analysis.hh"
+#include "machine/configs.hh"
+#include "partition/multilevel.hh"
+#include "sched/mii.hh"
+#include "sched/mrt.hh"
+#include "sched/uracam.hh"
+#include "workload/loop_shapes.hh"
+
+using namespace gpsched;
+
+int
+main()
+{
+    LatencyTable lat;
+    Ddg loop = dotProductKernel("dot2", lat, 2, 1000);
+    MachineConfig machine = twoClusterConfig(32, 1);
+    int mii = computeMii(loop, machine);
+
+    // Partition + schedule, raising the II until an attempt lands.
+    GpPartitioner partitioner(machine);
+    ModuloScheduler scheduler(loop, machine);
+    GpPartitionResult part = partitioner.run(loop, mii);
+    int ii = mii;
+    std::optional<PartialSchedule> scheduled;
+    while (!scheduled) {
+        PartialSchedule attempt(loop, machine, ii);
+        if (scheduler.schedule(attempt, ClusterPolicy::PreferAssigned,
+                               &part.partition)) {
+            scheduled.emplace(std::move(attempt));
+        } else {
+            ++ii;
+        }
+    }
+    PartialSchedule &ps = *scheduled;
+
+    std::printf("kernel of %s at II=%d (MII %d), SL=%d, "
+                "MaxLive/cluster:",
+                loop.name().c_str(), ii, mii, ps.scheduleLength());
+    for (int c = 0; c < machine.numClusters(); ++c)
+        std::printf(" %d", ps.maxLive(c));
+    std::printf("\n\n");
+
+    // Gather everything issued per (kernel slot, cluster).
+    std::map<std::pair<int, int>, std::vector<std::string>> slots;
+    for (NodeId v = 0; v < loop.numNodes(); ++v) {
+        const DdgNode &node = loop.node(v);
+        std::string text = toString(node.opcode) + " " + node.label +
+                           " @" + std::to_string(ps.cycleOf(v));
+        slots[{wrapSlot(ps.cycleOf(v), ii), ps.clusterOf(v)}]
+            .push_back(text);
+        for (const auto &[dest, t] : ps.transfersOf(v)) {
+            if (t.viaBus) {
+                slots[{wrapSlot(t.busCycle, ii), ps.clusterOf(v)}]
+                    .push_back("buscopy " + node.label + " ->c" +
+                               std::to_string(dest));
+            } else {
+                slots[{wrapSlot(t.stCycle, ii), ps.clusterOf(v)}]
+                    .push_back("commst " + node.label);
+                slots[{wrapSlot(t.ldCycle, ii), dest}].push_back(
+                    "commld " + node.label);
+            }
+        }
+        SpillInfo spill = ps.spillOf(v);
+        if (spill.spilled) {
+            slots[{wrapSlot(spill.storeCycle, ii), ps.clusterOf(v)}]
+                .push_back("spillst " + node.label);
+            slots[{wrapSlot(spill.loadCycle, ii), ps.clusterOf(v)}]
+                .push_back("spillld " + node.label);
+        }
+    }
+
+    for (int slot = 0; slot < ii; ++slot) {
+        std::printf("cycle %%II == %d:\n", slot);
+        for (int c = 0; c < machine.numClusters(); ++c) {
+            auto it = slots.find({slot, c});
+            if (it == slots.end())
+                continue;
+            std::printf("  cluster %d: ", c);
+            for (std::size_t i = 0; i < it->second.size(); ++i) {
+                std::printf("%s%s", i ? " | " : "",
+                            it->second[i].c_str());
+            }
+            std::printf("\n");
+        }
+    }
+    ScheduleStats stats = ps.stats();
+    std::printf("\noverhead: %d bus, %d mem comms, %d spills\n",
+                stats.busTransfers, stats.memTransfers, stats.spills);
+    return 0;
+}

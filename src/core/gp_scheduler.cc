@@ -1,0 +1,164 @@
+#include "core/gp_scheduler.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "graph/ddg_analysis.hh"
+#include "sched/list_sched.hh"
+#include "sched/mii.hh"
+#include "support/logging.hh"
+#include "support/timer.hh"
+
+namespace gpsched
+{
+
+std::string
+toString(SchedulerKind kind)
+{
+    switch (kind) {
+      case SchedulerKind::Uracam:
+        return "URACAM";
+      case SchedulerKind::FixedPartition:
+        return "Fixed";
+      case SchedulerKind::Gp:
+        return "GP";
+    }
+    GPSCHED_PANIC("unknown scheduler kind");
+}
+
+namespace
+{
+
+/** Per-cluster occupancy of original memory ops under a partition
+ *  (the Section-3.3.4 planned-memory extension). */
+std::vector<int>
+plannedMemOps(const Ddg &ddg, const MachineConfig &machine,
+              const Partition &partition)
+{
+    std::vector<int> planned(machine.numClusters(), 0);
+    const LatencyTable &lat = machine.latencies();
+    for (NodeId v = 0; v < ddg.numNodes(); ++v) {
+        const Opcode op = ddg.node(v).opcode;
+        if (isMemoryOpcode(op))
+            planned[partition.clusterOf(v)] += lat.occupancy(op);
+    }
+    return planned;
+}
+
+} // namespace
+
+LoopCompiler::LoopCompiler(const MachineConfig &machine,
+                           SchedulerKind kind,
+                           LoopCompilerOptions options)
+    : machine_(machine), kind_(kind), options_(std::move(options))
+{
+}
+
+CompiledLoop
+LoopCompiler::compile(const Ddg &ddg) const
+{
+    CompiledLoop out;
+    out.loopName = ddg.name();
+    out.ops = static_cast<std::int64_t>(ddg.numNodes()) *
+              ddg.tripCount();
+
+    CpuTimer timer;
+    timer.start();
+
+    const int mii = computeMii(ddg, machine_);
+    out.mii = mii;
+
+    // List-scheduling bound: once II reaches the flat schedule
+    // length, the kernel no longer overlaps iterations.
+    DdgAnalysis base(ddg, machine_.latencies(), mii);
+    GPSCHED_ASSERT(base.feasible(), "MII analysis infeasible");
+    const int max_ii =
+        std::min(options_.maxIiHardCap,
+                 std::max(mii, base.scheduleLength() +
+                                   options_.maxIiSlack));
+
+    const bool partitioned = kind_ != SchedulerKind::Uracam &&
+                             machine_.numClusters() > 1;
+    GpPartitioner partitioner(machine_, options_.partitioner);
+    GpPartitionResult part{Partition(ddg.numNodes(),
+                                     machine_.numClusters()),
+                           0,
+                           {}};
+    if (partitioned) {
+        part = partitioner.run(ddg, mii);
+        ++out.partitionRuns;
+    }
+
+    ClusterPolicy policy = ClusterPolicy::FreeChoice;
+    if (kind_ == SchedulerKind::FixedPartition)
+        policy = ClusterPolicy::AssignedOnly;
+    else if (kind_ == SchedulerKind::Gp)
+        policy = ClusterPolicy::PreferAssigned;
+
+    ModuloScheduler scheduler(ddg, machine_,
+                              {options_.fomThreshold});
+
+    int ii = mii;
+    while (ii <= max_ii) {
+        ++out.scheduleAttempts;
+        PartialSchedule ps(ddg, machine_, ii,
+                           partitioned
+                               ? plannedMemOps(ddg, machine_,
+                                               part.partition)
+                               : std::vector<int>{},
+                           options_.fomThreshold);
+        const Partition *assignment =
+            partitioned ? &part.partition : nullptr;
+        ClusterPolicy attempt_policy =
+            partitioned ? policy : ClusterPolicy::FreeChoice;
+        if (scheduler.schedule(ps, attempt_policy, assignment)) {
+            out.moduloScheduled = true;
+            out.ii = ii;
+            out.scheduleLength = ps.scheduleLength();
+            out.stats = ps.stats();
+            out.cycles = (ddg.tripCount() - 1) *
+                             static_cast<std::int64_t>(ii) +
+                         out.scheduleLength;
+            out.cycles = std::max<std::int64_t>(out.cycles, 1);
+            out.ipc = static_cast<double>(out.ops) / out.cycles;
+            out.schedSeconds = timer.elapsedSeconds();
+            return out;
+        }
+        ++ii;
+        // Figure 1(b): recompute the partition only when the bus
+        // bound exceeds the new II — then a new partition can reduce
+        // IIbus; otherwise keep the current one. The ablation
+        // policies force either extreme.
+        bool recompute = false;
+        switch (options_.repartition) {
+          case RepartitionPolicy::Never:
+            break;
+          case RepartitionPolicy::Selective:
+            recompute = part.iiBus > ii;
+            break;
+          case RepartitionPolicy::Always:
+            recompute = true;
+            break;
+        }
+        if (kind_ == SchedulerKind::Gp && partitioned &&
+            ii <= max_ii && recompute) {
+            part = partitioner.run(ddg, ii);
+            ++out.partitionRuns;
+        }
+    }
+
+    // Modulo scheduling is no longer profitable: list schedule.
+    ListScheduleResult ls = listSchedule(ddg, machine_);
+    out.moduloScheduled = false;
+    out.ii = 0;
+    out.scheduleLength = ls.scheduleLength;
+    out.stats = ScheduleStats{};
+    out.stats.busTransfers = ls.busTransfers;
+    out.cycles = std::max<std::int64_t>(
+        ls.totalCycles(ddg.tripCount()), 1);
+    out.ipc = static_cast<double>(out.ops) / out.cycles;
+    out.schedSeconds = timer.elapsedSeconds();
+    return out;
+}
+
+} // namespace gpsched

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Per-loop code generation drivers (paper Figure 1).
+ *
+ * A LoopCompiler turns one loop DDG into a schedule for one machine
+ * using one of the three evaluated schemes:
+ *
+ *  - SchedulerKind::Uracam — the URACAM baseline: no preliminary
+ *    partition; cluster assignment, scheduling and register
+ *    allocation in a single phase (on a unified machine this is the
+ *    paper's "unified" bar).
+ *  - SchedulerKind::FixedPartition — Figure 1, alternative (a): the
+ *    DDG is partitioned once at MII; on failure only the initiation
+ *    interval grows and the scheduler never deviates from the
+ *    partition.
+ *  - SchedulerKind::Gp — Figure 1, alternative (b), the paper's
+ *    proposal: the scheduler may deviate from the partition, and
+ *    when an attempt fails at II the partition is recomputed iff
+ *    IIbus > II (recomputing can then reduce IIbus; otherwise it
+ *    would likely not help).
+ *
+ * When the initiation interval climbs past the flat schedule length
+ * modulo scheduling has lost to simple iteration-by-iteration
+ * execution, and the driver falls back to list scheduling, as the
+ * paper does for a few loops.
+ */
+
+#ifndef GPSCHED_CORE_GP_SCHEDULER_HH
+#define GPSCHED_CORE_GP_SCHEDULER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "graph/ddg.hh"
+#include "machine/machine.hh"
+#include "partition/multilevel.hh"
+#include "sched/schedule.hh"
+#include "sched/uracam.hh"
+
+namespace gpsched
+{
+
+/** The code-generation scheme compiling a loop. */
+enum class SchedulerKind
+{
+    Uracam,         ///< single-phase baseline (Codina et al.)
+    FixedPartition, ///< partition once, never deviate (Fig. 1a)
+    Gp,             ///< partition + deviation + selective re-partition
+};
+
+/** Printable name ("URACAM", "Fixed", "GP"). */
+std::string toString(SchedulerKind kind);
+
+/**
+ * When the GP driver recomputes the partition after a failed
+ * scheduling attempt (ablation of the Figure-1 decision; the paper's
+ * conclusion is that Selective wins).
+ */
+enum class RepartitionPolicy
+{
+    Never,     ///< keep the initial partition forever
+    Selective, ///< recompute iff IIbus > II (the paper's rule)
+    Always,    ///< recompute on every II bump
+};
+
+/** Driver configuration. */
+struct LoopCompilerOptions
+{
+    /** Partitioner knobs (GP / FixedPartition only). */
+    GpPartitionerOptions partitioner;
+
+    /** GP re-partition rule (SchedulerKind::Gp only). */
+    RepartitionPolicy repartition = RepartitionPolicy::Selective;
+
+    /** Figure-of-merit comparison threshold. */
+    double fomThreshold = 10.0;
+
+    /**
+     * List-scheduling fallback margin: modulo scheduling is abandoned
+     * once II exceeds the flat schedule length at MII plus this
+     * slack.
+     */
+    int maxIiSlack = 2;
+
+    /** Absolute cap on the initiation interval (safety net). */
+    int maxIiHardCap = 1024;
+};
+
+/** Outcome of compiling one loop. */
+struct CompiledLoop
+{
+    std::string loopName;
+
+    /** False when the list-scheduling fallback was used. */
+    bool moduloScheduled = true;
+
+    /** Lower bound max(ResMII, RecMII). */
+    int mii = 0;
+
+    /** Achieved initiation interval (0 when list scheduled). */
+    int ii = 0;
+
+    /** Flat schedule length of one iteration. */
+    int scheduleLength = 0;
+
+    /** Execution cycles incl. prolog/epilog at the profiled trip. */
+    std::int64_t cycles = 0;
+
+    /** Program operations executed (overhead ops excluded). */
+    std::int64_t ops = 0;
+
+    /** ops / cycles. */
+    double ipc = 0.0;
+
+    /** Overhead operations of the final schedule. */
+    ScheduleStats stats;
+
+    /** Partitioner invocations (GP: >= 1 when re-partitioned). */
+    int partitionRuns = 0;
+
+    /** Scheduling attempts (II bumps + 1). */
+    int scheduleAttempts = 0;
+
+    /** Scheduling CPU time (Table 2 metric). */
+    double schedSeconds = 0.0;
+};
+
+/** Compiles loops for one machine with one scheme. */
+class LoopCompiler
+{
+  public:
+    /** @p machine must outlive the compiler. */
+    LoopCompiler(const MachineConfig &machine, SchedulerKind kind,
+                 LoopCompilerOptions options = {});
+
+    /** Compiles @p ddg and reports the outcome. */
+    CompiledLoop compile(const Ddg &ddg) const;
+
+    /** Scheme this compiler runs. */
+    SchedulerKind kind() const { return kind_; }
+
+  private:
+    const MachineConfig &machine_;
+    SchedulerKind kind_;
+    LoopCompilerOptions options_;
+};
+
+} // namespace gpsched
+
+#endif // GPSCHED_CORE_GP_SCHEDULER_HH

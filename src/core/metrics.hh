@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Performance accounting (paper Section 4.1).
+ *
+ * IPC counts original program operations only; overhead operations
+ * (spill, communications) consume slots but are not "useful" work,
+ * which keeps the unified configuration's IPC an upper bound for the
+ * clustered ones. Modulo-scheduled loops run in
+ * (niter - 1) * II + SL cycles — the SL term charges the prolog and
+ * epilog, as the paper's IPC does. List-scheduled loops execute
+ * iterations back to back.
+ */
+
+#ifndef GPSCHED_CORE_METRICS_HH
+#define GPSCHED_CORE_METRICS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace gpsched
+{
+
+/** Cycles of a modulo-scheduled loop incl. prolog/epilog. */
+std::int64_t moduloLoopCycles(int ii, int schedule_length,
+                              std::int64_t niter);
+
+/** Cycles of a list-scheduled loop (non-overlapped iterations). */
+std::int64_t listLoopCycles(int schedule_length, std::int64_t niter);
+
+/** ops / cycles with a zero-cycle guard. */
+double ipcOf(std::int64_t ops, std::int64_t cycles);
+
+/**
+ * Relative IPC gain of @p x over @p baseline in percent
+ * (the paper's "+23%" metric).
+ */
+double ipcGainPercent(double x, double baseline);
+
+/** Arithmetic mean of per-program IPCs (the paper's average bar). */
+double averageIpc(const std::vector<double> &program_ipcs);
+
+} // namespace gpsched
+
+#endif // GPSCHED_CORE_METRICS_HH

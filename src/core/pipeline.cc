@@ -1,0 +1,48 @@
+#include "core/pipeline.hh"
+
+#include "core/metrics.hh"
+
+namespace gpsched
+{
+
+ProgramResult
+compileProgram(const Program &program, const MachineConfig &machine,
+               SchedulerKind kind, const LoopCompilerOptions &options)
+{
+    LoopCompiler compiler(machine, kind, options);
+    ProgramResult result;
+    result.name = program.name;
+    result.loops.reserve(program.loops.size());
+    for (const Ddg &loop : program.loops) {
+        CompiledLoop compiled = compiler.compile(loop);
+        result.totalOps += compiled.ops;
+        result.totalCycles += compiled.cycles;
+        result.schedSeconds += compiled.schedSeconds;
+        if (!compiled.moduloScheduled)
+            ++result.listScheduled;
+        result.loops.push_back(std::move(compiled));
+    }
+    result.ipc = ipcOf(result.totalOps, result.totalCycles);
+    return result;
+}
+
+SuiteResult
+compileSuite(const std::vector<Program> &suite,
+             const MachineConfig &machine, SchedulerKind kind,
+             const LoopCompilerOptions &options)
+{
+    SuiteResult result;
+    result.programs.reserve(suite.size());
+    std::vector<double> ipcs;
+    for (const Program &program : suite) {
+        ProgramResult pr =
+            compileProgram(program, machine, kind, options);
+        ipcs.push_back(pr.ipc);
+        result.schedSeconds += pr.schedSeconds;
+        result.programs.push_back(std::move(pr));
+    }
+    result.meanIpc = averageIpc(ipcs);
+    return result;
+}
+
+} // namespace gpsched

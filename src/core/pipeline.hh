@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Whole-program compilation pipeline: compiles every innermost loop
+ * of a program with one scheme on one machine and aggregates IPC the
+ * way the paper's evaluation does (Section 4.1). A "program" stands
+ * for one SPECfp95 benchmark: a set of profiled innermost-loop DDGs
+ * that cover ~95% of its execution time.
+ */
+
+#ifndef GPSCHED_CORE_PIPELINE_HH
+#define GPSCHED_CORE_PIPELINE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/gp_scheduler.hh"
+#include "graph/ddg.hh"
+#include "machine/machine.hh"
+
+namespace gpsched
+{
+
+/** One benchmark: a named set of profiled innermost loops. */
+struct Program
+{
+    std::string name;
+    std::vector<Ddg> loops;
+};
+
+/** Aggregated outcome of compiling one program. */
+struct ProgramResult
+{
+    std::string name;
+    std::vector<CompiledLoop> loops;
+
+    /** Program operations executed over all loops. */
+    std::int64_t totalOps = 0;
+
+    /** Execution cycles over all loops. */
+    std::int64_t totalCycles = 0;
+
+    /** totalOps / totalCycles. */
+    double ipc = 0.0;
+
+    /** Scheduling CPU time summed over loops (Table 2 metric). */
+    double schedSeconds = 0.0;
+
+    /** Loops that fell back to list scheduling. */
+    int listScheduled = 0;
+};
+
+/** Outcome of compiling a whole suite. */
+struct SuiteResult
+{
+    std::vector<ProgramResult> programs;
+
+    /** Arithmetic mean of program IPCs (the paper's average bar). */
+    double meanIpc = 0.0;
+
+    /** Total scheduling CPU time. */
+    double schedSeconds = 0.0;
+};
+
+/** Compiles every loop of @p program. */
+ProgramResult compileProgram(const Program &program,
+                             const MachineConfig &machine,
+                             SchedulerKind kind,
+                             const LoopCompilerOptions &options = {});
+
+/** Compiles every program of @p suite. */
+SuiteResult compileSuite(const std::vector<Program> &suite,
+                         const MachineConfig &machine,
+                         SchedulerKind kind,
+                         const LoopCompilerOptions &options = {});
+
+} // namespace gpsched
+
+#endif // GPSCHED_CORE_PIPELINE_HH

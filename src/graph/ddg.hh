@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Data dependence graph (DDG) of one innermost loop.
+ *
+ * Nodes are operations; edges are data dependences annotated with a
+ * latency (cycles the consumer must wait after the producer issues)
+ * and a distance (iteration difference: 0 for intra-iteration
+ * dependences, >= 1 for loop-carried ones). A modulo schedule must
+ * satisfy  start(dst) >= start(src) + latency - II * distance  for
+ * every edge.
+ */
+
+#ifndef GPSCHED_GRAPH_DDG_HH
+#define GPSCHED_GRAPH_DDG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "machine/op.hh"
+
+namespace gpsched
+{
+
+/** Index of a node within its Ddg. */
+using NodeId = std::int32_t;
+
+/** Index of an edge within its Ddg. */
+using EdgeId = std::int32_t;
+
+/** Sentinel for "no node". */
+constexpr NodeId invalidNode = -1;
+
+/** One operation of the loop body. */
+struct DdgNode
+{
+    Opcode opcode = Opcode::IAlu;
+    std::string label;
+};
+
+/**
+ * Dependence kind. Flow edges carry a register value from producer
+ * to consumer: when the two end up in different clusters the value
+ * must cross the inter-cluster interconnect (bus copy or
+ * communication through memory) and it occupies a register while
+ * live. Order edges (memory ordering, anti/output dependences) only
+ * constrain issue times.
+ */
+enum class DepKind : std::uint8_t
+{
+    Flow,
+    Order,
+};
+
+/** One data dependence. */
+struct DdgEdge
+{
+    NodeId src = invalidNode;
+    NodeId dst = invalidNode;
+    int latency = 1;
+    int distance = 0;
+    DepKind kind = DepKind::Flow;
+
+    /** True for loop-carried dependences. */
+    bool loopCarried() const { return distance > 0; }
+
+    /** True for value-carrying dependences. */
+    bool isFlow() const { return kind == DepKind::Flow; }
+};
+
+/**
+ * Immutable-after-construction dependence graph of one loop,
+ * together with its profiled trip count.
+ */
+class Ddg
+{
+  public:
+    /** Creates an empty graph named @p name. */
+    explicit Ddg(std::string name = "loop");
+
+    /** Adds a node; returns its id. */
+    NodeId addNode(Opcode opcode, std::string label = "");
+
+    /**
+     * Adds a dependence edge. @p latency must be >= 0 and
+     * @p distance >= 0; self-edges require distance >= 1. Flow edges
+     * must leave a value-defining opcode.
+     */
+    EdgeId addEdge(NodeId src, NodeId dst, int latency,
+                   int distance = 0, DepKind kind = DepKind::Flow);
+
+    /** Loop name (for reports). */
+    const std::string &name() const { return name_; }
+
+    /** Profiled iteration count (>= 1). */
+    std::int64_t tripCount() const { return tripCount_; }
+
+    /** Sets the profiled iteration count. */
+    void setTripCount(std::int64_t niter);
+
+    /** Number of nodes. */
+    int numNodes() const { return static_cast<int>(nodes_.size()); }
+
+    /** Number of edges. */
+    int numEdges() const { return static_cast<int>(edges_.size()); }
+
+    /** Node accessor. */
+    const DdgNode &node(NodeId id) const;
+
+    /** Edge accessor. */
+    const DdgEdge &edge(EdgeId id) const;
+
+    /** Ids of edges leaving @p id. */
+    const std::vector<EdgeId> &outEdges(NodeId id) const;
+
+    /** Ids of edges entering @p id. */
+    const std::vector<EdgeId> &inEdges(NodeId id) const;
+
+    /** Number of nodes executing on functional-unit class @p cls. */
+    int numOps(FuClass cls) const;
+
+    /** Number of loads + stores. */
+    int numMemOps() const { return numOps(FuClass::Mem); }
+
+    /** Sum of FU occupancy of ops of @p cls under @p latencies. */
+    int totalOccupancy(FuClass cls, const LatencyTable &latencies) const;
+
+    /** True when any edge is loop-carried. */
+    bool hasRecurrence() const;
+
+  private:
+    std::string name_;
+    std::int64_t tripCount_ = 100;
+    std::vector<DdgNode> nodes_;
+    std::vector<DdgEdge> edges_;
+    std::vector<std::vector<EdgeId>> outEdges_;
+    std::vector<std::vector<EdgeId>> inEdges_;
+};
+
+} // namespace gpsched
+
+#endif // GPSCHED_GRAPH_DDG_HH

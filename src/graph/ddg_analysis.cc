@@ -1,0 +1,248 @@
+#include "graph/ddg_analysis.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace gpsched
+{
+
+DdgAnalysis::DdgAnalysis(const Ddg &ddg, const LatencyTable &latencies,
+                         int ii,
+                         const std::vector<int> *extra_edge_latency,
+                         const SccDecomposition *sccs)
+    : ddg_(ddg), latencies_(latencies), ii_(ii),
+      extra_(extra_edge_latency), sccs_(sccs)
+{
+    GPSCHED_ASSERT(ii >= 1, "II must be >= 1, got ", ii);
+    GPSCHED_ASSERT(!extra_ ||
+                       static_cast<int>(extra_->size()) ==
+                           ddg.numEdges(),
+                   "extra latency vector size mismatch");
+    if (sccs_) {
+        compute(*sccs_);
+    } else {
+        SccDecomposition own = computeSccs(ddg_);
+        compute(own);
+    }
+}
+
+int
+DdgAnalysis::effectiveLatency(EdgeId e) const
+{
+    const auto &edge = ddg_.edge(e);
+    int lat = edge.latency + (extra_ ? (*extra_)[e] : 0);
+    return lat - ii_ * edge.distance;
+}
+
+void
+DdgAnalysis::compute(const SccDecomposition &sccs)
+{
+    const int n = ddg_.numNodes();
+    asap_.assign(n, 0);
+    alap_.assign(n, 0);
+    if (n == 0)
+        return;
+
+    // Tarjan emits components in reverse topological order of the
+    // condensation; iterate them backwards for a topological sweep.
+    const int nc = sccs.numComponents();
+
+    // --- forward pass: ASAP ------------------------------------------
+    for (int c = nc - 1; c >= 0; --c) {
+        const auto &comp = sccs.components[c];
+        // Pull in finalized values over cross-component in-edges.
+        for (NodeId v : comp) {
+            for (EdgeId e : ddg_.inEdges(v)) {
+                NodeId u = ddg_.edge(e).src;
+                if (sccs.componentOf[u] != c) {
+                    asap_[v] = std::max(asap_[v],
+                                        asap_[u] + effectiveLatency(e));
+                }
+            }
+        }
+        // Iterate internal edges to a fixpoint. A positive cycle
+        // keeps relaxing past |comp| passes.
+        std::size_t passes = 0;
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (NodeId v : comp) {
+                for (EdgeId e : ddg_.outEdges(v)) {
+                    NodeId w = ddg_.edge(e).dst;
+                    if (sccs.componentOf[w] != c)
+                        continue;
+                    int cand = asap_[v] + effectiveLatency(e);
+                    if (cand > asap_[w]) {
+                        asap_[w] = cand;
+                        changed = true;
+                    }
+                }
+            }
+            if (changed && ++passes > comp.size()) {
+                feasible_ = false;
+                return;
+            }
+        }
+    }
+
+    scheduleLength_ = 0;
+    for (NodeId v = 0; v < n; ++v) {
+        int finish = asap_[v] + latencies_.latency(ddg_.node(v).opcode);
+        scheduleLength_ = std::max(scheduleLength_, finish);
+    }
+
+    // --- backward pass: ALAP -----------------------------------------
+    for (NodeId v = 0; v < n; ++v) {
+        alap_[v] =
+            scheduleLength_ - latencies_.latency(ddg_.node(v).opcode);
+    }
+    for (int c = 0; c < nc; ++c) {
+        const auto &comp = sccs.components[c];
+        for (NodeId v : comp) {
+            for (EdgeId e : ddg_.outEdges(v)) {
+                NodeId w = ddg_.edge(e).dst;
+                if (sccs.componentOf[w] != c) {
+                    alap_[v] = std::min(alap_[v],
+                                        alap_[w] - effectiveLatency(e));
+                }
+            }
+        }
+        bool changed = true;
+        std::size_t passes = 0;
+        while (changed) {
+            changed = false;
+            for (NodeId v : comp) {
+                for (EdgeId e : ddg_.inEdges(v)) {
+                    NodeId u = ddg_.edge(e).src;
+                    if (sccs.componentOf[u] != c)
+                        continue;
+                    int cand = alap_[v] - effectiveLatency(e);
+                    if (cand < alap_[u]) {
+                        alap_[u] = cand;
+                        changed = true;
+                    }
+                }
+            }
+            // Feasibility was already established by the forward
+            // pass; the bound here is a safety net.
+            if (changed && ++passes > comp.size() + 1) {
+                feasible_ = false;
+                return;
+            }
+        }
+    }
+}
+
+int
+DdgAnalysis::scheduleLength() const
+{
+    GPSCHED_ASSERT(feasible_, "infeasible analysis queried");
+    return scheduleLength_;
+}
+
+int
+DdgAnalysis::asap(NodeId v) const
+{
+    GPSCHED_ASSERT(feasible_, "infeasible analysis queried");
+    GPSCHED_ASSERT(v >= 0 && v < ddg_.numNodes(), "bad node ", v);
+    return asap_[v];
+}
+
+int
+DdgAnalysis::alap(NodeId v) const
+{
+    GPSCHED_ASSERT(feasible_, "infeasible analysis queried");
+    GPSCHED_ASSERT(v >= 0 && v < ddg_.numNodes(), "bad node ", v);
+    return alap_[v];
+}
+
+int
+DdgAnalysis::mobility(NodeId v) const
+{
+    return alap(v) - asap(v);
+}
+
+int
+DdgAnalysis::height(NodeId v) const
+{
+    return scheduleLength() - alap(v);
+}
+
+int
+DdgAnalysis::slack(EdgeId e) const
+{
+    GPSCHED_ASSERT(feasible_, "infeasible analysis queried");
+    const auto &edge = ddg_.edge(e);
+    return alap_[edge.dst] - asap_[edge.src] - effectiveLatency(e);
+}
+
+int
+DdgAnalysis::maxSlack() const
+{
+    int best = 0;
+    for (EdgeId e = 0; e < ddg_.numEdges(); ++e)
+        best = std::max(best, slack(e));
+    return best;
+}
+
+namespace
+{
+
+/** Cheap feasibility probe at a given II. */
+bool
+feasibleAt(const Ddg &ddg, const LatencyTable &latencies, int ii,
+           const std::vector<int> *extra, const SccDecomposition &sccs)
+{
+    return DdgAnalysis(ddg, latencies, ii, extra, &sccs).feasible();
+}
+
+} // namespace
+
+int
+recMii(const Ddg &ddg, const std::vector<int> *extra_edge_latency)
+{
+    // Upper bound: any cycle's latency sum is at most the sum of all
+    // edge latencies and its distance sum is >= 1.
+    LatencyTable latencies; // node latencies do not affect feasibility
+    SccDecomposition sccs = computeSccs(ddg);
+    long total = 1;
+    for (EdgeId e = 0; e < ddg.numEdges(); ++e) {
+        total += ddg.edge(e).latency;
+        if (extra_edge_latency)
+            total += (*extra_edge_latency)[e];
+    }
+    int lo = 1;
+    int hi = static_cast<int>(std::min<long>(total, 1 << 24));
+    GPSCHED_ASSERT(
+        feasibleAt(ddg, latencies, hi, extra_edge_latency, sccs),
+        "no feasible II below upper bound");
+    while (lo < hi) {
+        int mid = lo + (hi - lo) / 2;
+        if (feasibleAt(ddg, latencies, mid, extra_edge_latency, sccs))
+            hi = mid;
+        else
+            lo = mid + 1;
+    }
+    return lo;
+}
+
+int
+recMiiWithEdgeDelay(const Ddg &ddg, EdgeId e, int delta, int base_mii)
+{
+    GPSCHED_ASSERT(e >= 0 && e < ddg.numEdges(), "bad edge ", e);
+    GPSCHED_ASSERT(delta >= 0, "negative delay");
+    LatencyTable latencies;
+    SccDecomposition sccs = computeSccs(ddg);
+    std::vector<int> extra(ddg.numEdges(), 0);
+    extra[e] = delta;
+    // Adding delta to one edge can raise RecMII by at most delta
+    // (every cycle's distance sum is >= 1).
+    for (int ii = base_mii; ii <= base_mii + delta; ++ii) {
+        if (feasibleAt(ddg, latencies, ii, &extra, sccs))
+            return ii;
+    }
+    GPSCHED_PANIC("recMiiWithEdgeDelay: no feasible II in bound");
+}
+
+} // namespace gpsched

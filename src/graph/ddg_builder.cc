@@ -1,0 +1,57 @@
+#include "graph/ddg_builder.hh"
+
+#include "support/logging.hh"
+
+namespace gpsched
+{
+
+DdgBuilder::DdgBuilder(std::string name, const LatencyTable &latencies)
+    : ddg_(std::move(name)), latencies_(latencies)
+{
+}
+
+NodeId
+DdgBuilder::op(Opcode opcode, std::string label)
+{
+    GPSCHED_ASSERT(isProgramOpcode(opcode),
+                   "workload DDGs may only contain program opcodes, "
+                   "got ", toString(opcode));
+    return ddg_.addNode(opcode, std::move(label));
+}
+
+EdgeId
+DdgBuilder::flow(NodeId src, NodeId dst)
+{
+    return ddg_.addEdge(src, dst,
+                        latencies_.latency(ddg_.node(src).opcode), 0);
+}
+
+EdgeId
+DdgBuilder::carried(NodeId src, NodeId dst, int distance)
+{
+    GPSCHED_ASSERT(distance >= 1, "carried edge needs distance >= 1");
+    return ddg_.addEdge(src, dst,
+                        latencies_.latency(ddg_.node(src).opcode),
+                        distance);
+}
+
+EdgeId
+DdgBuilder::order(NodeId src, NodeId dst, int latency, int distance)
+{
+    return ddg_.addEdge(src, dst, latency, distance, DepKind::Order);
+}
+
+DdgBuilder &
+DdgBuilder::tripCount(std::int64_t niter)
+{
+    ddg_.setTripCount(niter);
+    return *this;
+}
+
+Ddg
+DdgBuilder::build()
+{
+    return std::move(ddg_);
+}
+
+} // namespace gpsched

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fluent construction helper for DDGs. Flow edges take their latency
+ * from a LatencyTable (the producer's result latency), which is what
+ * workload generators and tests almost always want; explicit-latency
+ * edges remain available for anti/output/memory dependences.
+ */
+
+#ifndef GPSCHED_GRAPH_DDG_BUILDER_HH
+#define GPSCHED_GRAPH_DDG_BUILDER_HH
+
+#include <string>
+
+#include "graph/ddg.hh"
+#include "machine/op.hh"
+
+namespace gpsched
+{
+
+/** Builds a Ddg with latencies supplied by a LatencyTable. */
+class DdgBuilder
+{
+  public:
+    /** @param name loop name; @p latencies must outlive the builder. */
+    DdgBuilder(std::string name, const LatencyTable &latencies);
+
+    /** Adds an operation node. */
+    NodeId op(Opcode opcode, std::string label = "");
+
+    /**
+     * Adds an intra-iteration flow dependence src -> dst with the
+     * producer's result latency.
+     */
+    EdgeId flow(NodeId src, NodeId dst);
+
+    /**
+     * Adds a loop-carried flow dependence with the producer's result
+     * latency and iteration distance @p distance (>= 1).
+     */
+    EdgeId carried(NodeId src, NodeId dst, int distance = 1);
+
+    /**
+     * Adds a precedence-only (Order) edge with an explicit latency
+     * and distance; used for memory-ordering and anti/output
+     * dependences, which carry no register value.
+     */
+    EdgeId order(NodeId src, NodeId dst, int latency, int distance = 0);
+
+    /** Sets the profiled trip count. */
+    DdgBuilder &tripCount(std::int64_t niter);
+
+    /** Finishes construction (moves the graph out). */
+    Ddg build();
+
+    /** In-progress graph (for incremental generators). */
+    const Ddg &graph() const { return ddg_; }
+
+  private:
+    Ddg ddg_;
+    const LatencyTable &latencies_;
+};
+
+} // namespace gpsched
+
+#endif // GPSCHED_GRAPH_DDG_BUILDER_HH

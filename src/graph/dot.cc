@@ -1,0 +1,55 @@
+#include "graph/dot.hh"
+
+#include "support/logging.hh"
+
+namespace gpsched
+{
+
+void
+writeDot(std::ostream &os, const Ddg &ddg,
+         const std::vector<int> *cluster_of)
+{
+    static const char *palette[] = {
+        "lightblue", "lightsalmon", "palegreen", "plum",
+        "khaki", "lightcyan", "mistyrose", "honeydew",
+    };
+    constexpr int paletteSize = 8;
+
+    GPSCHED_ASSERT(!cluster_of ||
+                       static_cast<int>(cluster_of->size()) ==
+                           ddg.numNodes(),
+                   "cluster map size mismatch");
+
+    os << "digraph \"" << ddg.name() << "\" {\n";
+    os << "  rankdir=TB;\n";
+    for (NodeId v = 0; v < ddg.numNodes(); ++v) {
+        os << "  n" << v << " [label=\"" << ddg.node(v).label
+           << "\\n" << toString(ddg.node(v).opcode) << "\"";
+        if (cluster_of) {
+            int cl = (*cluster_of)[v];
+            os << ", style=filled, fillcolor="
+               << palette[cl % paletteSize];
+        }
+        os << "];\n";
+    }
+    for (EdgeId e = 0; e < ddg.numEdges(); ++e) {
+        const auto &edge = ddg.edge(e);
+        os << "  n" << edge.src << " -> n" << edge.dst << " [label=\""
+           << edge.latency;
+        if (edge.distance > 0)
+            os << "," << edge.distance;
+        os << "\"";
+        if (edge.distance > 0)
+            os << ", constraint=false, color=gray";
+        if (!edge.isFlow())
+            os << ", arrowhead=empty";
+        if (cluster_of &&
+            (*cluster_of)[edge.src] != (*cluster_of)[edge.dst]) {
+            os << ", style=dashed, penwidth=2";
+        }
+        os << "];\n";
+    }
+    os << "}\n";
+}
+
+} // namespace gpsched

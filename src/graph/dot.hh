@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Graphviz export of DDGs, optionally colored by a cluster
+ * assignment. Used by the partition_viz example and by humans
+ * debugging partitions.
+ */
+
+#ifndef GPSCHED_GRAPH_DOT_HH
+#define GPSCHED_GRAPH_DOT_HH
+
+#include <ostream>
+#include <vector>
+
+#include "graph/ddg.hh"
+
+namespace gpsched
+{
+
+/**
+ * Writes @p ddg in Graphviz dot syntax. When @p cluster_of is
+ * non-null it must map every node to a cluster index; nodes are then
+ * grouped and colored per cluster and cut edges drawn dashed.
+ */
+void writeDot(std::ostream &os, const Ddg &ddg,
+              const std::vector<int> *cluster_of = nullptr);
+
+} // namespace gpsched
+
+#endif // GPSCHED_GRAPH_DOT_HH

@@ -1,0 +1,93 @@
+#include "graph/textio.hh"
+
+#include <sstream>
+#include <string>
+
+#include "support/logging.hh"
+
+namespace gpsched
+{
+
+void
+writeDdgText(std::ostream &os, const Ddg &ddg)
+{
+    os << "ddg " << ddg.name() << " " << ddg.tripCount() << "\n";
+    for (NodeId v = 0; v < ddg.numNodes(); ++v) {
+        const auto &n = ddg.node(v);
+        os << "node " << toString(n.opcode) << " " << n.label << "\n";
+    }
+    for (EdgeId e = 0; e < ddg.numEdges(); ++e) {
+        const auto &edge = ddg.edge(e);
+        os << "edge " << edge.src << " " << edge.dst << " "
+           << edge.latency << " " << edge.distance << " "
+           << (edge.isFlow() ? "flow" : "order") << "\n";
+    }
+    os << "end\n";
+}
+
+Ddg
+readDdgText(std::istream &is)
+{
+    std::string line;
+    bool headerSeen = false;
+    Ddg ddg;
+
+    while (std::getline(is, line)) {
+        // Strip comments.
+        auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream ls(line);
+        std::string keyword;
+        if (!(ls >> keyword))
+            continue;
+
+        if (keyword == "ddg") {
+            std::string name;
+            std::int64_t trips = 0;
+            if (!(ls >> name >> trips) || trips < 1)
+                GPSCHED_FATAL("malformed ddg header: '", line, "'");
+            ddg = Ddg(name);
+            ddg.setTripCount(trips);
+            headerSeen = true;
+        } else if (keyword == "node") {
+            if (!headerSeen)
+                GPSCHED_FATAL("node before ddg header");
+            std::string mnemonic, label;
+            if (!(ls >> mnemonic))
+                GPSCHED_FATAL("malformed node line: '", line, "'");
+            ls >> label; // optional
+            ddg.addNode(opcodeFromString(mnemonic), label);
+        } else if (keyword == "edge") {
+            if (!headerSeen)
+                GPSCHED_FATAL("edge before ddg header");
+            int src, dst, lat, dist;
+            if (!(ls >> src >> dst >> lat >> dist))
+                GPSCHED_FATAL("malformed edge line: '", line, "'");
+            if (src < 0 || src >= ddg.numNodes() || dst < 0 ||
+                dst >= ddg.numNodes()) {
+                GPSCHED_FATAL("edge references unknown node: '", line,
+                              "'");
+            }
+            std::string kindText = "flow";
+            ls >> kindText; // optional, defaults to flow
+            DepKind kind;
+            if (kindText == "flow")
+                kind = DepKind::Flow;
+            else if (kindText == "order")
+                kind = DepKind::Order;
+            else
+                GPSCHED_FATAL("unknown edge kind '", kindText, "'");
+            ddg.addEdge(src, dst, lat, dist, kind);
+        } else if (keyword == "end") {
+            if (!headerSeen)
+                GPSCHED_FATAL("end before ddg header");
+            return ddg;
+        } else {
+            GPSCHED_FATAL("unknown keyword '", keyword, "'");
+        }
+    }
+    GPSCHED_FATAL("unexpected end of input while reading ddg");
+}
+
+} // namespace gpsched

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Line-oriented text serialization of DDGs so loops can be dumped,
+ * versioned and re-loaded (e.g. to reproduce a single interesting
+ * loop outside the workload generator).
+ *
+ * Format:
+ *   ddg <name> <trip-count>
+ *   node <opcode> [label]
+ *   edge <src> <dst> <latency> <distance>
+ *   end
+ * '#' starts a comment; blank lines are ignored.
+ */
+
+#ifndef GPSCHED_GRAPH_TEXTIO_HH
+#define GPSCHED_GRAPH_TEXTIO_HH
+
+#include <istream>
+#include <ostream>
+
+#include "graph/ddg.hh"
+
+namespace gpsched
+{
+
+/** Writes @p ddg in the text format. */
+void writeDdgText(std::ostream &os, const Ddg &ddg);
+
+/** Parses one DDG; fatal() on malformed input. */
+Ddg readDdgText(std::istream &is);
+
+} // namespace gpsched
+
+#endif // GPSCHED_GRAPH_TEXTIO_HH

@@ -1,0 +1,46 @@
+#include "graph/unroll.hh"
+
+#include <string>
+
+#include "support/logging.hh"
+
+namespace gpsched
+{
+
+Ddg
+unrollLoop(const Ddg &ddg, int factor)
+{
+    GPSCHED_ASSERT(factor >= 1, "unroll factor must be >= 1");
+    const int n = ddg.numNodes();
+
+    Ddg out(ddg.name() +
+            (factor > 1 ? "_u" + std::to_string(factor) : ""));
+    for (int k = 0; k < factor; ++k) {
+        for (NodeId v = 0; v < n; ++v) {
+            const DdgNode &node = ddg.node(v);
+            std::string label = node.label;
+            if (factor > 1)
+                label += "#" + std::to_string(k);
+            NodeId id = out.addNode(node.opcode, label);
+            GPSCHED_ASSERT(id == v + k * n, "unroll id scheme broken");
+        }
+    }
+    for (int k = 0; k < factor; ++k) {
+        for (EdgeId e = 0; e < ddg.numEdges(); ++e) {
+            const DdgEdge &edge = ddg.edge(e);
+            int target = k + edge.distance;
+            out.addEdge(edge.src + k * n,
+                        edge.dst + (target % factor) * n,
+                        edge.latency, target / factor, edge.kind);
+        }
+    }
+
+    // One unrolled iteration covers `factor` original ones; round up
+    // so the remainder is charged rather than dropped.
+    out.setTripCount(
+        std::max<std::int64_t>(1, (ddg.tripCount() + factor - 1) /
+                                      factor));
+    return out;
+}
+
+} // namespace gpsched

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Loop unrolling as a DDG transformation.
+ *
+ * The authors' companion study (Sánchez & González, ICPP 2000)
+ * shows unrolling helps modulo scheduling on clustered VLIWs: it
+ * reduces the impact of ResMII rounding (ceil of fractional resource
+ * bounds) and gives the partitioner U independent copies of the body
+ * to spread across clusters. Unrolling by U replicates every node U
+ * times; a dependence (src -> dst, latency, distance d) becomes, for
+ * each copy i, an edge from src#i to dst#((i+d) mod U) with distance
+ * floor((i+d) / U). The trip count drops to ceil(niter / U) — the
+ * epilogue remainder is folded into the last unrolled iteration,
+ * which slightly overestimates work for niter not divisible by U
+ * (documented, conservative).
+ */
+
+#ifndef GPSCHED_GRAPH_UNROLL_HH
+#define GPSCHED_GRAPH_UNROLL_HH
+
+#include "graph/ddg.hh"
+
+namespace gpsched
+{
+
+/**
+ * Unrolls @p ddg by @p factor (>= 1; 1 returns a plain copy).
+ * Node copy k of original node v has id v + k * ddg.numNodes() and
+ * label "<orig>#k".
+ */
+Ddg unrollLoop(const Ddg &ddg, int factor);
+
+} // namespace gpsched
+
+#endif // GPSCHED_GRAPH_UNROLL_HH

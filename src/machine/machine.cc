@@ -1,0 +1,112 @@
+#include "machine/machine.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace gpsched
+{
+
+MachineConfig::MachineConfig(std::string name, int num_clusters,
+                             int int_units, int fp_units, int mem_units,
+                             int total_regs, int num_buses,
+                             int bus_latency)
+    : name_(std::move(name)), numClusters_(num_clusters),
+      totalRegs_(total_regs), numBuses_(num_buses),
+      busLatency_(bus_latency)
+{
+    if (num_clusters < 1)
+        GPSCHED_FATAL("machine needs at least one cluster");
+    if (int_units < 1 || fp_units < 1 || mem_units < 1)
+        GPSCHED_FATAL("each cluster needs at least one FU per class");
+    if (total_regs < num_clusters)
+        GPSCHED_FATAL("need at least one register per cluster");
+    if (total_regs % num_clusters != 0)
+        GPSCHED_FATAL("total registers (", total_regs,
+                      ") must divide evenly among ", num_clusters,
+                      " clusters");
+    if (num_clusters > 1 && num_buses < 1)
+        GPSCHED_FATAL("clustered machines need at least one bus");
+    if (num_buses > 0 && bus_latency < 1)
+        GPSCHED_FATAL("bus latency must be >= 1");
+
+    fuPerCluster_[static_cast<int>(FuClass::Int)] = int_units;
+    fuPerCluster_[static_cast<int>(FuClass::Fp)] = fp_units;
+    fuPerCluster_[static_cast<int>(FuClass::Mem)] = mem_units;
+}
+
+int
+MachineConfig::fuPerCluster(FuClass cls) const
+{
+    int idx = static_cast<int>(cls);
+    GPSCHED_ASSERT(idx >= 0 && idx < numFuClasses, "bad FuClass");
+    return fuPerCluster_[idx];
+}
+
+int
+MachineConfig::totalFu(FuClass cls) const
+{
+    return fuPerCluster(cls) * numClusters_;
+}
+
+int
+MachineConfig::issueWidthPerCluster() const
+{
+    int width = 0;
+    for (int i = 0; i < numFuClasses; ++i)
+        width += fuPerCluster_[i];
+    return width;
+}
+
+int
+MachineConfig::totalIssueWidth() const
+{
+    return issueWidthPerCluster() * numClusters_;
+}
+
+int
+MachineConfig::regsPerCluster() const
+{
+    return totalRegs_ / numClusters_;
+}
+
+MachineConfig
+MachineConfig::withTotalRegs(int regs, const std::string &name) const
+{
+    MachineConfig copy(name, numClusters_,
+                       fuPerCluster(FuClass::Int),
+                       fuPerCluster(FuClass::Fp),
+                       fuPerCluster(FuClass::Mem),
+                       regs, numBuses_, busLatency_);
+    copy.latencies_ = latencies_;
+    return copy;
+}
+
+MachineConfig
+MachineConfig::withBusLatency(int latency) const
+{
+    MachineConfig copy(name_, numClusters_,
+                       fuPerCluster(FuClass::Int),
+                       fuPerCluster(FuClass::Fp),
+                       fuPerCluster(FuClass::Mem),
+                       totalRegs_, numBuses_, latency);
+    copy.latencies_ = latencies_;
+    return copy;
+}
+
+std::string
+MachineConfig::summary() const
+{
+    std::ostringstream oss;
+    oss << name_ << ": " << numClusters_ << " cluster(s) x ["
+        << fuPerCluster(FuClass::Int) << " INT, "
+        << fuPerCluster(FuClass::Fp) << " FP, "
+        << fuPerCluster(FuClass::Mem) << " MEM, "
+        << regsPerCluster() << " regs]";
+    if (numClusters_ > 1) {
+        oss << ", " << numBuses_ << " bus(es) lat " << busLatency_;
+    }
+    return oss.str();
+}
+
+} // namespace gpsched

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Clustered VLIW machine description (paper Table 1).
+ *
+ * A machine is a set of identical clusters, each with its own
+ * functional units and register file, connected by one or more
+ * non-pipelined buses of a given latency. The memory hierarchy is
+ * shared and perfect (every access hits), as in the paper's
+ * evaluation.
+ */
+
+#ifndef GPSCHED_MACHINE_MACHINE_HH
+#define GPSCHED_MACHINE_MACHINE_HH
+
+#include <string>
+
+#include "machine/op.hh"
+
+namespace gpsched
+{
+
+/**
+ * Describes one clustered VLIW configuration. All clusters are
+ * homogeneous, as in the paper ("total resources ... divided
+ * homogeneously among the different clusters").
+ */
+class MachineConfig
+{
+  public:
+    /**
+     * @param name display name ("unified", "2-cluster", ...)
+     * @param num_clusters number of clusters (>= 1)
+     * @param int_units integer units per cluster
+     * @param fp_units FP units per cluster
+     * @param mem_units memory ports per cluster
+     * @param total_regs registers summed over all clusters
+     * @param num_buses inter-cluster buses (0 allowed only when
+     *        num_clusters == 1)
+     * @param bus_latency cycles a value spends on the bus; the bus is
+     *        non-pipelined, so a transfer also occupies the bus for
+     *        this many cycles
+     */
+    MachineConfig(std::string name, int num_clusters, int int_units,
+                  int fp_units, int mem_units, int total_regs,
+                  int num_buses, int bus_latency);
+
+    /** Display name. */
+    const std::string &name() const { return name_; }
+
+    /** Number of clusters. */
+    int numClusters() const { return numClusters_; }
+
+    /** True for the single-cluster (unified) configuration. */
+    bool unified() const { return numClusters_ == 1; }
+
+    /** Functional units of @p cls in one cluster. */
+    int fuPerCluster(FuClass cls) const;
+
+    /** Functional units of @p cls summed over clusters. */
+    int totalFu(FuClass cls) const;
+
+    /** Issue slots of one cluster (sum of its FUs). */
+    int issueWidthPerCluster() const;
+
+    /** Issue slots of the whole machine. */
+    int totalIssueWidth() const;
+
+    /** Registers in one cluster's register file. */
+    int regsPerCluster() const;
+
+    /** Registers summed over all clusters. */
+    int totalRegs() const { return totalRegs_; }
+
+    /** Number of inter-cluster buses. */
+    int numBuses() const { return numBuses_; }
+
+    /** Latency (and occupancy) of one bus transfer. */
+    int busLatency() const { return busLatency_; }
+
+    /** Operation latency/occupancy table. */
+    const LatencyTable &latencies() const { return latencies_; }
+
+    /** Mutable access for configuration tweaks. */
+    LatencyTable &latencies() { return latencies_; }
+
+    /** Returns a copy renamed to @p name with @p regs total registers. */
+    MachineConfig withTotalRegs(int regs, const std::string &name) const;
+
+    /** Returns a copy with @p latency bus latency. */
+    MachineConfig withBusLatency(int latency) const;
+
+    /** One-line human-readable summary. */
+    std::string summary() const;
+
+  private:
+    std::string name_;
+    int numClusters_;
+    int fuPerCluster_[numFuClasses];
+    int totalRegs_;
+    int numBuses_;
+    int busLatency_;
+    LatencyTable latencies_;
+};
+
+} // namespace gpsched
+
+#endif // GPSCHED_MACHINE_MACHINE_HH

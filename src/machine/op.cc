@@ -1,0 +1,162 @@
+#include "machine/op.hh"
+
+#include "support/logging.hh"
+
+namespace gpsched
+{
+
+std::string
+toString(FuClass cls)
+{
+    switch (cls) {
+      case FuClass::Int: return "INT";
+      case FuClass::Fp:  return "FP";
+      case FuClass::Mem: return "MEM";
+      default: GPSCHED_PANIC("bad FuClass ", static_cast<int>(cls));
+    }
+}
+
+std::string
+toString(Opcode op)
+{
+    switch (op) {
+      case Opcode::IAlu:    return "ialu";
+      case Opcode::IMul:    return "imul";
+      case Opcode::IDiv:    return "idiv";
+      case Opcode::FAdd:    return "fadd";
+      case Opcode::FMul:    return "fmul";
+      case Opcode::FDiv:    return "fdiv";
+      case Opcode::Load:    return "load";
+      case Opcode::Store:   return "store";
+      case Opcode::BusCopy: return "buscopy";
+      case Opcode::SpillSt: return "spillst";
+      case Opcode::SpillLd: return "spillld";
+      case Opcode::CommSt:  return "commst";
+      case Opcode::CommLd:  return "commld";
+      default: GPSCHED_PANIC("bad Opcode ", static_cast<int>(op));
+    }
+}
+
+Opcode
+opcodeFromString(const std::string &text)
+{
+    for (int i = 0; i < numOpcodes; ++i) {
+        Opcode op = static_cast<Opcode>(i);
+        if (toString(op) == text)
+            return op;
+    }
+    GPSCHED_FATAL("unknown opcode mnemonic '", text, "'");
+}
+
+bool
+isProgramOpcode(Opcode op)
+{
+    switch (op) {
+      case Opcode::IAlu:
+      case Opcode::IMul:
+      case Opcode::IDiv:
+      case Opcode::FAdd:
+      case Opcode::FMul:
+      case Opcode::FDiv:
+      case Opcode::Load:
+      case Opcode::Store:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isMemoryOpcode(Opcode op)
+{
+    switch (op) {
+      case Opcode::Load:
+      case Opcode::Store:
+      case Opcode::SpillSt:
+      case Opcode::SpillLd:
+      case Opcode::CommSt:
+      case Opcode::CommLd:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+definesValue(Opcode op)
+{
+    switch (op) {
+      case Opcode::Store:
+      case Opcode::SpillSt:
+      case Opcode::CommSt:
+        return false;
+      default:
+        return true;
+    }
+}
+
+FuClass
+fuClassOf(Opcode op)
+{
+    switch (op) {
+      case Opcode::IAlu:
+      case Opcode::IMul:
+      case Opcode::IDiv:
+        return FuClass::Int;
+      case Opcode::FAdd:
+      case Opcode::FMul:
+      case Opcode::FDiv:
+        return FuClass::Fp;
+      case Opcode::Load:
+      case Opcode::Store:
+      case Opcode::SpillSt:
+      case Opcode::SpillLd:
+      case Opcode::CommSt:
+      case Opcode::CommLd:
+        return FuClass::Mem;
+      case Opcode::BusCopy:
+        GPSCHED_PANIC("BusCopy executes on a bus, not a FU");
+      default:
+        GPSCHED_PANIC("bad Opcode ", static_cast<int>(op));
+    }
+}
+
+LatencyTable::LatencyTable()
+{
+    auto set = [this](Opcode op, int lat, int occ) {
+        timings_[static_cast<int>(op)] = OpTiming{lat, occ};
+    };
+    set(Opcode::IAlu, 1, 1);
+    set(Opcode::IMul, 2, 1);
+    set(Opcode::IDiv, 6, 6);   // non-pipelined
+    set(Opcode::FAdd, 3, 1);
+    set(Opcode::FMul, 4, 1);
+    set(Opcode::FDiv, 12, 12); // non-pipelined
+    set(Opcode::Load, 2, 1);
+    set(Opcode::Store, 1, 1);
+    // BusCopy latency is the bus latency; occupancy handled by the
+    // bus reservation table. The entry here is a placeholder.
+    set(Opcode::BusCopy, 1, 1);
+    set(Opcode::SpillSt, 1, 1);
+    set(Opcode::SpillLd, 2, 1);
+    set(Opcode::CommSt, 1, 1);
+    set(Opcode::CommLd, 2, 1);
+}
+
+const OpTiming &
+LatencyTable::timing(Opcode op) const
+{
+    int idx = static_cast<int>(op);
+    GPSCHED_ASSERT(idx >= 0 && idx < numOpcodes, "bad opcode ", idx);
+    return timings_[idx];
+}
+
+void
+LatencyTable::setTiming(Opcode op, OpTiming timing)
+{
+    GPSCHED_ASSERT(timing.latency >= 0 && timing.occupancy >= 1,
+                   "invalid timing for ", toString(op));
+    timings_[static_cast<int>(op)] = timing;
+}
+
+} // namespace gpsched

@@ -1,0 +1,108 @@
+#include "partition/edge_weights.hh"
+
+#include <algorithm>
+
+#include "graph/ddg_analysis.hh"
+#include "support/logging.hh"
+
+namespace gpsched
+{
+
+namespace
+{
+
+/**
+ * delay(e) given a precomputed base analysis and SCC decomposition;
+ * @p extra is an all-zero scratch vector restored before returning.
+ */
+std::int64_t
+edgeDelayWithBase(const Ddg &ddg, const LatencyTable &latencies,
+                  EdgeId e, int ii, int bus_latency,
+                  const DdgAnalysis &base, const SccDecomposition &sccs,
+                  std::vector<int> &extra)
+{
+    const auto &edge = ddg.edge(e);
+    const bool same_scc = sccs.componentOf[edge.src] ==
+                          sccs.componentOf[edge.dst];
+
+    int new_ii = ii;
+    std::int64_t path_growth = 0;
+    if (!same_scc) {
+        // The delayed edge lies on no cycle: the II is unaffected and
+        // only paths through e can grow. The longest one is
+        // asap(src) + efflat(e) + delay + height-from-dst, all known
+        // from the base analysis — O(1) instead of a fresh sweep.
+        int through = base.asap(edge.src) + base.effectiveLatency(e) +
+                      bus_latency + base.scheduleLength() -
+                      base.alap(edge.dst);
+        path_growth =
+            std::max(0, through - base.scheduleLength());
+    } else {
+        // Inside a recurrence the delay can also force the II up (by
+        // at most bus_latency, since every cycle's distance sum is
+        // >= 1); probe upward from the input II.
+        extra[e] = bus_latency;
+        for (;; ++new_ii) {
+            GPSCHED_ASSERT(new_ii <= ii + bus_latency,
+                           "augmented RecMII above bound");
+            DdgAnalysis probe(ddg, latencies, new_ii, &extra, &sccs);
+            if (probe.feasible()) {
+                path_growth =
+                    probe.scheduleLength() - base.scheduleLength();
+                break;
+            }
+        }
+        extra[e] = 0;
+    }
+
+    std::int64_t iters = ddg.tripCount();
+    std::int64_t ii_growth =
+        static_cast<std::int64_t>(new_ii - ii) * (iters - 1);
+    // Raising II can shorten the flat schedule (loop-carried edges
+    // relax); the total is still a delay, never a speedup.
+    return std::max<std::int64_t>(0, ii_growth + path_growth);
+}
+
+} // namespace
+
+std::int64_t
+edgeDelay(const Ddg &ddg, const LatencyTable &latencies, EdgeId e,
+          int ii, int bus_latency)
+{
+    SccDecomposition sccs = computeSccs(ddg);
+    DdgAnalysis base(ddg, latencies, ii, nullptr, &sccs);
+    GPSCHED_ASSERT(base.feasible(), "edgeDelay at infeasible II ", ii);
+    std::vector<int> extra(ddg.numEdges(), 0);
+    return edgeDelayWithBase(ddg, latencies, e, ii, bus_latency, base,
+                             sccs, extra);
+}
+
+std::vector<std::int64_t>
+computeEdgeWeights(const Ddg &ddg, const LatencyTable &latencies,
+                   int ii, int bus_latency,
+                   const EdgeWeightOptions &options)
+{
+    SccDecomposition sccs = computeSccs(ddg);
+    DdgAnalysis base(ddg, latencies, ii, nullptr, &sccs);
+    GPSCHED_ASSERT(base.feasible(),
+                   "edge weights requested at infeasible II ", ii);
+
+    const std::int64_t maxsl = base.maxSlack();
+    std::vector<std::int64_t> weights(ddg.numEdges(), 1);
+    std::vector<int> extra(ddg.numEdges(), 0);
+    for (EdgeId e = 0; e < ddg.numEdges(); ++e) {
+        std::int64_t weight = 1;
+        if (options.useDelayTerm) {
+            weight += edgeDelayWithBase(ddg, latencies, e, ii,
+                                        bus_latency, base, sccs,
+                                        extra) *
+                      (maxsl + 1);
+        }
+        if (options.useSlackTerm)
+            weight += maxsl - base.slack(e);
+        weights[e] = std::max<std::int64_t>(1, weight);
+    }
+    return weights;
+}
+
+} // namespace gpsched

@@ -1,0 +1,197 @@
+#include "partition/estimator.hh"
+
+#include <algorithm>
+
+#include "graph/ddg_analysis.hh"
+#include "sched/lifetime.hh"
+#include "support/logging.hh"
+
+namespace gpsched
+{
+
+PartitionEstimator::PartitionEstimator(const Ddg &ddg,
+                                       const MachineConfig &machine,
+                                       int ii, bool register_aware)
+    : ddg_(ddg), machine_(machine), ii_(ii),
+      registerAware_(register_aware), sccs_(computeSccs(ddg)),
+      extraScratch_(ddg.numEdges(), 0)
+{
+    GPSCHED_ASSERT(ii >= 1, "estimator needs II >= 1");
+}
+
+int
+PartitionEstimator::occupancy(const Partition &partition, int cluster,
+                              FuClass cls) const
+{
+    const LatencyTable &lat = machine_.latencies();
+    int occ = 0;
+    for (NodeId v = 0; v < ddg_.numNodes(); ++v) {
+        if (partition.clusterOf(v) != cluster)
+            continue;
+        Opcode op = ddg_.node(v).opcode;
+        if (fuClassOf(op) == cls)
+            occ += lat.occupancy(op);
+    }
+    return occ;
+}
+
+double
+PartitionEstimator::utilization(const Partition &partition, int cluster,
+                                FuClass cls) const
+{
+    int slots = machine_.fuPerCluster(cls) * ii_;
+    return static_cast<double>(occupancy(partition, cluster, cls)) /
+           static_cast<double>(slots);
+}
+
+bool
+PartitionEstimator::resourcesOk(const Partition &partition) const
+{
+    for (int c = 0; c < machine_.numClusters(); ++c) {
+        for (int k = 0; k < numFuClasses; ++k) {
+            FuClass cls = static_cast<FuClass>(k);
+            int slots = machine_.fuPerCluster(cls) * ii_;
+            if (occupancy(partition, c, cls) > slots)
+                return false;
+        }
+    }
+    return true;
+}
+
+int
+PartitionEstimator::perClusterResMii(const Partition &partition) const
+{
+    int worst = 1;
+    for (int c = 0; c < machine_.numClusters(); ++c) {
+        for (int k = 0; k < numFuClasses; ++k) {
+            FuClass cls = static_cast<FuClass>(k);
+            int occ = occupancy(partition, c, cls);
+            int fus = machine_.fuPerCluster(cls);
+            worst = std::max(worst, (occ + fus - 1) / fus);
+        }
+    }
+    return worst;
+}
+
+PartitionEstimate
+PartitionEstimator::evaluate(const Partition &partition) const
+{
+    PartitionEstimate est;
+
+    // One pass over the nodes yields every (cluster, class) occupancy
+    // needed for both the overload test and the per-cluster ResMII.
+    const int clusters = machine_.numClusters();
+    const LatencyTable &lat = machine_.latencies();
+    std::vector<int> occ(clusters * numFuClasses, 0);
+    for (NodeId v = 0; v < ddg_.numNodes(); ++v) {
+        Opcode op = ddg_.node(v).opcode;
+        occ[partition.clusterOf(v) * numFuClasses +
+            static_cast<int>(fuClassOf(op))] += lat.occupancy(op);
+    }
+    est.resourcesOk = true;
+    int res_mii = 1;
+    for (int c = 0; c < clusters; ++c) {
+        for (int k = 0; k < numFuClasses; ++k) {
+            int fus = machine_.fuPerCluster(static_cast<FuClass>(k));
+            int o = occ[c * numFuClasses + k];
+            if (o > fus * ii_)
+                est.resourcesOk = false;
+            res_mii = std::max(res_mii, (o + fus - 1) / fus);
+        }
+    }
+
+    est.iiBus = iiBusBound(ddg_, partition, machine_);
+    est.cutEdges = numCutEdges(ddg_, partition);
+
+    // Communication delays on cut flow edges.
+    std::vector<int> &extra = extraScratch_;
+    std::fill(extra.begin(), extra.end(), 0);
+    for (EdgeId e = 0; e < ddg_.numEdges(); ++e) {
+        const auto &edge = ddg_.edge(e);
+        if (edge.isFlow() && partition.clusterOf(edge.src) !=
+                                 partition.clusterOf(edge.dst)) {
+            extra[e] = machine_.busLatency();
+        }
+    }
+
+    int start = std::max({ii_, est.iiBus, res_mii});
+    // Cut edges inside recurrences can force the II above the input;
+    // scan a few steps before falling back to a full RecMII search.
+    int iiFeas = -1;
+    for (int ii = start; ii <= start + 4; ++ii) {
+        DdgAnalysis probe(ddg_, lat, ii, &extra, &sccs_);
+        if (probe.feasible()) {
+            iiFeas = ii;
+            break;
+        }
+    }
+    if (iiFeas == -1)
+        iiFeas = std::max(start, recMii(ddg_, &extra));
+
+    DdgAnalysis analysis(ddg_, lat, iiFeas, &extra, &sccs_);
+    GPSCHED_ASSERT(analysis.feasible(), "estimator analysis infeasible");
+
+    est.iiEff = iiFeas;
+    est.pathLength = analysis.scheduleLength();
+    est.execTime = static_cast<std::int64_t>(ddg_.tripCount() - 1) *
+                       est.iiEff +
+                   est.pathLength;
+    if (!est.resourcesOk) {
+        // Overloaded partitions are never acceptable; rank them last
+        // but keep relative order so the balance pass can compare.
+        est.execTime += 1000000000000LL;
+    }
+
+    for (EdgeId e = 0; e < ddg_.numEdges(); ++e) {
+        const auto &edge = ddg_.edge(e);
+        if (partition.clusterOf(edge.src) !=
+            partition.clusterOf(edge.dst)) {
+            if (edge.isFlow())
+                est.cutSlackTotal += analysis.slack(e);
+        }
+    }
+
+    // Register-aware extension (paper Section 4.2, future work):
+    // project each value's home-cluster lifetime at the ASAP
+    // schedule ([write, last same-cluster use]) and penalize
+    // partitions whose per-cluster MaxLive overflows the file —
+    // overflowing values will spill, costing roughly an II bump per
+    // pair of them.
+    if (registerAware_) {
+        std::vector<LifetimeTracker> live;
+        live.reserve(clusters);
+        for (int c = 0; c < clusters; ++c)
+            live.emplace_back(machine_.regsPerCluster(), iiFeas);
+        for (NodeId v = 0; v < ddg_.numNodes(); ++v) {
+            if (!definesValue(ddg_.node(v).opcode))
+                continue;
+            int home = partition.clusterOf(v);
+            int write = analysis.asap(v) +
+                        lat.latency(ddg_.node(v).opcode);
+            int last = write;
+            for (EdgeId e : ddg_.outEdges(v)) {
+                const auto &edge = ddg_.edge(e);
+                if (!edge.isFlow() ||
+                    partition.clusterOf(edge.dst) != home) {
+                    continue;
+                }
+                last = std::max(last, analysis.asap(edge.dst) +
+                                          iiFeas * edge.distance);
+            }
+            live[home].add({write, last});
+        }
+        est.regPressure.resize(clusters);
+        std::int64_t overflow = 0;
+        for (int c = 0; c < clusters; ++c) {
+            est.regPressure[c] = live[c].maxLive();
+            overflow += std::max(0, est.regPressure[c] -
+                                        machine_.regsPerCluster());
+        }
+        est.execTime +=
+            overflow * std::max<std::int64_t>(
+                           1, (ddg_.tripCount() - 1) / 2);
+    }
+    return est;
+}
+
+} // namespace gpsched

@@ -1,0 +1,249 @@
+#include "partition/matching.hh"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+
+#include "support/logging.hh"
+
+namespace gpsched
+{
+
+namespace
+{
+
+/** Validates edge endpoints. */
+void
+checkEdges(int num_vertices, const std::vector<MatchEdge> &edges)
+{
+    for (const auto &e : edges) {
+        GPSCHED_ASSERT(e.a >= 0 && e.a < num_vertices &&
+                           e.b >= 0 && e.b < num_vertices,
+                       "matching edge endpoint out of range");
+        GPSCHED_ASSERT(e.weight >= 0, "negative matching weight");
+    }
+}
+
+/**
+ * Greedy heavy-edge matching: scan edges by decreasing weight and
+ * take every edge whose endpoints are still free.
+ */
+std::vector<int>
+greedyMatching(int num_vertices, const std::vector<MatchEdge> &edges)
+{
+    std::vector<int> order(edges.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int x, int y) {
+        if (edges[x].weight != edges[y].weight)
+            return edges[x].weight > edges[y].weight;
+        return x < y;
+    });
+
+    std::vector<bool> used(num_vertices, false);
+    std::vector<int> picked;
+    for (int idx : order) {
+        const auto &e = edges[idx];
+        if (e.a == e.b || used[e.a] || used[e.b])
+            continue;
+        used[e.a] = used[e.b] = true;
+        picked.push_back(idx);
+    }
+    return picked;
+}
+
+/**
+ * One 2-augmentation pass: for each selected edge, check whether
+ * dropping it and adding two currently-blocked edges (one per freed
+ * endpoint) increases total weight. Repeats until no improvement.
+ */
+void
+augmentPairs(int num_vertices, const std::vector<MatchEdge> &edges,
+             std::vector<int> &picked)
+{
+    // adjacency: for each vertex, candidate edge indices.
+    std::vector<std::vector<int>> adj(num_vertices);
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+        if (edges[i].a != edges[i].b) {
+            adj[edges[i].a].push_back(static_cast<int>(i));
+            adj[edges[i].b].push_back(static_cast<int>(i));
+        }
+    }
+
+    auto rebuildUsed = [&](std::vector<int> &matchedEdgeOf) {
+        matchedEdgeOf.assign(num_vertices, -1);
+        for (int idx : picked) {
+            matchedEdgeOf[edges[idx].a] = idx;
+            matchedEdgeOf[edges[idx].b] = idx;
+        }
+    };
+
+    std::vector<int> matchedEdgeOf;
+    rebuildUsed(matchedEdgeOf);
+
+    bool improved = true;
+    int guard = 0;
+    while (improved && guard++ < 64) {
+        improved = false;
+        for (std::size_t p = 0; p < picked.size(); ++p) {
+            int dropIdx = picked[p];
+            const auto &drop = edges[dropIdx];
+            // Best replacement edge per freed endpoint, not touching
+            // the other endpoint and with both other ends free.
+            auto bestAt = [&](int vertex, int avoid) {
+                int best = -1;
+                for (int cand : adj[vertex]) {
+                    if (cand == dropIdx)
+                        continue;
+                    const auto &ce = edges[cand];
+                    int other = ce.a == vertex ? ce.b : ce.a;
+                    if (other == avoid)
+                        continue;
+                    if (matchedEdgeOf[other] != -1 &&
+                        matchedEdgeOf[other] != dropIdx) {
+                        continue;
+                    }
+                    if (other == drop.a || other == drop.b)
+                        continue;
+                    if (best == -1 ||
+                        ce.weight > edges[best].weight) {
+                        best = cand;
+                    }
+                }
+                return best;
+            };
+            int repA = bestAt(drop.a, drop.b);
+            int repB = bestAt(drop.b, drop.a);
+            std::int64_t gain = -drop.weight;
+            if (repA != -1)
+                gain += edges[repA].weight;
+            if (repB != -1 && repB != repA)
+                gain += edges[repB].weight;
+            if (repA != -1 && repB != -1 && repA != repB) {
+                // Both replacements must not collide on a vertex.
+                const auto &ra = edges[repA];
+                const auto &rb = edges[repB];
+                int otherA = ra.a == drop.a ? ra.b : ra.a;
+                int otherB = rb.a == drop.b ? rb.b : rb.a;
+                if (otherA == otherB)
+                    continue;
+            }
+            if (gain > 0 && (repA != -1 || repB != -1) &&
+                repA != repB) {
+                picked.erase(picked.begin() +
+                             static_cast<std::ptrdiff_t>(p));
+                if (repA != -1)
+                    picked.push_back(repA);
+                if (repB != -1)
+                    picked.push_back(repB);
+                rebuildUsed(matchedEdgeOf);
+                improved = true;
+                break;
+            }
+        }
+    }
+}
+
+/** Random maximal matching for the ablation bench. */
+std::vector<int>
+randomMaximalMatching(int num_vertices,
+                      const std::vector<MatchEdge> &edges, Rng &rng)
+{
+    std::vector<int> order(edges.size());
+    std::iota(order.begin(), order.end(), 0);
+    rng.shuffle(order);
+
+    std::vector<bool> used(num_vertices, false);
+    std::vector<int> picked;
+    for (int idx : order) {
+        const auto &e = edges[idx];
+        if (e.a == e.b || used[e.a] || used[e.b])
+            continue;
+        used[e.a] = used[e.b] = true;
+        picked.push_back(idx);
+    }
+    return picked;
+}
+
+} // namespace
+
+std::vector<int>
+computeMatching(int num_vertices, const std::vector<MatchEdge> &edges,
+                MatchingPolicy policy, Rng &rng)
+{
+    checkEdges(num_vertices, edges);
+    switch (policy) {
+      case MatchingPolicy::GreedyHeavy: {
+        auto picked = greedyMatching(num_vertices, edges);
+        augmentPairs(num_vertices, edges, picked);
+        return picked;
+      }
+      case MatchingPolicy::RandomMaximal:
+        return randomMaximalMatching(num_vertices, edges, rng);
+      default:
+        GPSCHED_PANIC("bad matching policy");
+    }
+}
+
+std::vector<int>
+exactMaxWeightMatching(int num_vertices,
+                       const std::vector<MatchEdge> &edges)
+{
+    checkEdges(num_vertices, edges);
+    GPSCHED_ASSERT(num_vertices <= 24,
+                   "exact matching is exponential; vertex count ",
+                   num_vertices, " too large");
+
+    std::vector<int> best;
+    std::int64_t bestWeight = 0;
+    std::vector<int> current;
+
+    // Depth-first over edges; prune on remaining optimistic weight.
+    std::vector<std::int64_t> suffixMax(edges.size() + 1, 0);
+    for (int i = static_cast<int>(edges.size()) - 1; i >= 0; --i)
+        suffixMax[i] = suffixMax[i + 1] + edges[i].weight;
+
+    std::vector<bool> used(num_vertices, false);
+    std::int64_t currentWeight = 0;
+
+    std::function<void(std::size_t)> visit = [&](std::size_t i) {
+        if (currentWeight > bestWeight ||
+            (currentWeight == bestWeight &&
+             current.size() > best.size())) {
+            bestWeight = currentWeight;
+            best = current;
+        }
+        if (i >= edges.size())
+            return;
+        if (currentWeight + suffixMax[i] < bestWeight)
+            return;
+        const auto &e = edges[i];
+        if (e.a != e.b && !used[e.a] && !used[e.b]) {
+            used[e.a] = used[e.b] = true;
+            current.push_back(static_cast<int>(i));
+            currentWeight += e.weight;
+            visit(i + 1);
+            currentWeight -= e.weight;
+            current.pop_back();
+            used[e.a] = used[e.b] = false;
+        }
+        visit(i + 1);
+    };
+    visit(0);
+    return best;
+}
+
+std::int64_t
+matchingWeight(const std::vector<MatchEdge> &edges,
+               const std::vector<int> &matching)
+{
+    std::int64_t total = 0;
+    for (int idx : matching) {
+        GPSCHED_ASSERT(idx >= 0 &&
+                           idx < static_cast<int>(edges.size()),
+                       "bad matching index");
+        total += edges[idx].weight;
+    }
+    return total;
+}
+
+} // namespace gpsched

@@ -1,0 +1,84 @@
+#include "partition/multilevel.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/logging.hh"
+#include "support/random.hh"
+
+namespace gpsched
+{
+
+GpPartitioner::GpPartitioner(const MachineConfig &machine,
+                             GpPartitionerOptions options)
+    : machine_(machine), options_(options)
+{
+}
+
+GpPartitionResult
+GpPartitioner::run(const Ddg &ddg, int ii) const
+{
+    GPSCHED_ASSERT(ii >= 1, "partitioner needs II >= 1");
+    const int clusters = machine_.numClusters();
+
+    if (clusters == 1 || ddg.numNodes() == 0) {
+        GpPartitionResult result{
+            Partition(ddg.numNodes(), std::max(clusters, 1)), 0, {}};
+        PartitionEstimator estimator(ddg, machine_, ii,
+                                     options_.registerAware);
+        result.estimate = estimator.evaluate(result.partition);
+        result.iiBus = result.estimate.iiBus;
+        return result;
+    }
+
+    // --- 1. edge weights at the input II -----------------------------
+    std::vector<std::int64_t> weights =
+        computeEdgeWeights(ddg, machine_.latencies(), ii,
+                           machine_.busLatency(), options_.edgeWeights);
+
+    // --- 2. coarsen ---------------------------------------------------
+    Rng rng(options_.seed);
+    CoarseningHierarchy hierarchy(ddg, weights, clusters,
+                                  options_.matching, rng);
+
+    // --- 3. initial assignment: heaviest macro-nodes first, one per
+    //        cluster (clusters are homogeneous) ------------------------
+    const CoarseLevel &coarsest = hierarchy.coarsest();
+    Partition partition(ddg.numNodes(), clusters);
+    {
+        std::vector<int> order(coarsest.numNodes());
+        std::iota(order.begin(), order.end(), 0);
+        std::sort(order.begin(), order.end(), [&](int x, int y) {
+            auto sx = coarsest.members[x].size();
+            auto sy = coarsest.members[y].size();
+            if (sx != sy)
+                return sx > sy;
+            return x < y;
+        });
+        for (std::size_t i = 0; i < order.size(); ++i) {
+            int cluster = static_cast<int>(i) % clusters;
+            for (NodeId v : coarsest.members[order[i]])
+                partition.assign(v, cluster);
+        }
+    }
+
+    // --- 4. refine coarsest -> finest ---------------------------------
+    if (options_.refineEnabled) {
+        RefineOptions refine_options = options_.refine;
+        refine_options.registerAware |= options_.registerAware;
+        PartitionRefiner refiner(ddg, machine_, ii, weights,
+                                 refine_options);
+        const auto &levels = hierarchy.levels();
+        for (auto it = levels.rbegin(); it != levels.rend(); ++it)
+            refiner.refineLevel(*it, partition);
+    }
+
+    GpPartitionResult result{partition, 0, {}};
+    PartitionEstimator estimator(ddg, machine_, ii,
+                                 options_.registerAware);
+    result.estimate = estimator.evaluate(partition);
+    result.iiBus = result.estimate.iiBus;
+    return result;
+}
+
+} // namespace gpsched

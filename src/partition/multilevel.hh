@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The GP scheme's cluster-assignment phase (paper Section 3.2):
+ * multilevel graph partitioning of a loop DDG.
+ *
+ *   1. compute edge weights at the input II (Section 3.2.1),
+ *   2. coarsen by maximum-weight matching until as many macro-nodes
+ *      remain as the machine has clusters,
+ *   3. assign each coarsest macro-node to a distinct cluster,
+ *   4. refine every level from coarsest to finest with the balance
+ *      and edge-impact passes (Section 3.2.2).
+ *
+ * The result carries the cluster assignment, the bus-imposed bound
+ * IIbus that the driver of Section 3.1 compares against the current
+ * II, and the final execution-time estimate.
+ */
+
+#ifndef GPSCHED_PARTITION_MULTILEVEL_HH
+#define GPSCHED_PARTITION_MULTILEVEL_HH
+
+#include <cstdint>
+
+#include "graph/ddg.hh"
+#include "machine/machine.hh"
+#include "partition/coarsen.hh"
+#include "partition/edge_weights.hh"
+#include "partition/estimator.hh"
+#include "partition/partition.hh"
+#include "partition/refine.hh"
+
+namespace gpsched
+{
+
+/** Partitioner configuration (defaults reproduce the paper). */
+struct GpPartitionerOptions
+{
+    MatchingPolicy matching = MatchingPolicy::GreedyHeavy;
+    EdgeWeightOptions edgeWeights;
+    RefineOptions refine;
+    bool refineEnabled = true;
+
+    /** Steer refinement away from register-overflowing partitions
+     *  (the paper's Section-4.2 future-work heuristic). */
+    bool registerAware = false;
+
+    std::uint64_t seed = 0xc0ffee;
+};
+
+/** Result of one partitioning run. */
+struct GpPartitionResult
+{
+    Partition partition;
+    int iiBus = 0;
+    PartitionEstimate estimate;
+};
+
+/** Multilevel cluster assignment for modulo scheduling. */
+class GpPartitioner
+{
+  public:
+    /** @p machine must outlive the partitioner. */
+    explicit GpPartitioner(const MachineConfig &machine,
+                           GpPartitionerOptions options = {});
+
+    /** Partitions @p ddg for initiation interval @p ii. */
+    GpPartitionResult run(const Ddg &ddg, int ii) const;
+
+  private:
+    const MachineConfig &machine_;
+    GpPartitionerOptions options_;
+};
+
+} // namespace gpsched
+
+#endif // GPSCHED_PARTITION_MULTILEVEL_HH

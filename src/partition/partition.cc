@@ -1,0 +1,92 @@
+#include "partition/partition.hh"
+
+#include <set>
+
+#include "support/logging.hh"
+
+namespace gpsched
+{
+
+Partition::Partition(int num_nodes, int num_clusters, int initial)
+    : numClusters_(num_clusters)
+{
+    GPSCHED_ASSERT(num_nodes >= 0, "negative node count");
+    GPSCHED_ASSERT(num_clusters >= 1, "need at least one cluster");
+    GPSCHED_ASSERT(initial >= 0 && initial < num_clusters,
+                   "bad initial cluster ", initial);
+    clusterOf_.assign(num_nodes, initial);
+}
+
+int
+Partition::clusterOf(NodeId v) const
+{
+    GPSCHED_ASSERT(v >= 0 && v < numNodes(), "bad node ", v);
+    return clusterOf_[v];
+}
+
+void
+Partition::assign(NodeId v, int cluster)
+{
+    GPSCHED_ASSERT(v >= 0 && v < numNodes(), "bad node ", v);
+    GPSCHED_ASSERT(cluster >= 0 && cluster < numClusters_,
+                   "bad cluster ", cluster);
+    clusterOf_[v] = cluster;
+}
+
+std::vector<NodeId>
+Partition::nodesIn(int cluster) const
+{
+    std::vector<NodeId> nodes;
+    for (NodeId v = 0; v < numNodes(); ++v) {
+        if (clusterOf_[v] == cluster)
+            nodes.push_back(v);
+    }
+    return nodes;
+}
+
+int
+numCutEdges(const Ddg &ddg, const Partition &partition)
+{
+    int cut = 0;
+    for (EdgeId e = 0; e < ddg.numEdges(); ++e) {
+        const auto &edge = ddg.edge(e);
+        if (partition.clusterOf(edge.src) !=
+            partition.clusterOf(edge.dst)) {
+            ++cut;
+        }
+    }
+    return cut;
+}
+
+int
+numCommunications(const Ddg &ddg, const Partition &partition)
+{
+    int comms = 0;
+    for (NodeId v = 0; v < ddg.numNodes(); ++v) {
+        std::set<int> destClusters;
+        for (EdgeId e : ddg.outEdges(v)) {
+            const auto &edge = ddg.edge(e);
+            if (!edge.isFlow())
+                continue;
+            int dstCluster = partition.clusterOf(edge.dst);
+            if (dstCluster != partition.clusterOf(v))
+                destClusters.insert(dstCluster);
+        }
+        comms += static_cast<int>(destClusters.size());
+    }
+    return comms;
+}
+
+int
+iiBusBound(const Ddg &ddg, const Partition &partition,
+           const MachineConfig &machine)
+{
+    if (machine.unified())
+        return 0;
+    int ncomm = numCommunications(ddg, partition);
+    long busy = static_cast<long>(ncomm) * machine.busLatency();
+    long buses = machine.numBuses();
+    return static_cast<int>((busy + buses - 1) / buses);
+}
+
+} // namespace gpsched

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Cluster assignment of the nodes of one DDG, plus the communication
+ * queries the GP scheme needs: cut edges, the number of values that
+ * must cross the interconnect (NComm) and the bus-imposed initiation
+ * interval bound IIbus = ceil(NComm * LatBus / NBus) from Section 3.1
+ * of the paper.
+ */
+
+#ifndef GPSCHED_PARTITION_PARTITION_HH
+#define GPSCHED_PARTITION_PARTITION_HH
+
+#include <vector>
+
+#include "graph/ddg.hh"
+#include "machine/machine.hh"
+
+namespace gpsched
+{
+
+/** Maps every node of a DDG to a cluster. */
+class Partition
+{
+  public:
+    /** All @p num_nodes nodes start in cluster @p initial. */
+    Partition(int num_nodes, int num_clusters, int initial = 0);
+
+    /** Number of clusters. */
+    int numClusters() const { return numClusters_; }
+
+    /** Number of nodes. */
+    int numNodes() const
+    {
+        return static_cast<int>(clusterOf_.size());
+    }
+
+    /** Cluster of @p v. */
+    int clusterOf(NodeId v) const;
+
+    /** Reassigns @p v to @p cluster. */
+    void assign(NodeId v, int cluster);
+
+    /** Nodes currently mapped to @p cluster. */
+    std::vector<NodeId> nodesIn(int cluster) const;
+
+    /** Raw assignment vector (for dot export etc.). */
+    const std::vector<int> &raw() const { return clusterOf_; }
+
+  private:
+    int numClusters_;
+    std::vector<int> clusterOf_;
+};
+
+/** Number of edges whose endpoints lie in different clusters. */
+int numCutEdges(const Ddg &ddg, const Partition &partition);
+
+/**
+ * Number of values communicated over the interconnect: one transfer
+ * per (producer value, distinct consumer cluster) pair, counting
+ * Flow edges only (paper's NComm).
+ */
+int numCommunications(const Ddg &ddg, const Partition &partition);
+
+/**
+ * Bus-imposed II bound: minimum cycles needed to place NComm
+ * transfers of LatBus cycles each on NBus non-pipelined buses
+ * (paper Section 3.1). Zero for unified machines.
+ */
+int iiBusBound(const Ddg &ddg, const Partition &partition,
+               const MachineConfig &machine);
+
+} // namespace gpsched
+
+#endif // GPSCHED_PARTITION_PARTITION_HH

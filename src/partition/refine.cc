@@ -1,0 +1,393 @@
+#include "partition/refine.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "support/logging.hh"
+
+namespace gpsched
+{
+
+namespace
+{
+
+/** A candidate refinement change: a single move or a pair swap. */
+struct Change
+{
+    int macroA = -1;
+    int destA = -1;   ///< cluster macroA moves to
+    int macroB = -1;  ///< -1 for single moves
+    int destB = -1;   ///< cluster macroB moves to (swaps only)
+    std::int64_t staticGain = 0;
+};
+
+} // namespace
+
+PartitionRefiner::PartitionRefiner(
+    const Ddg &ddg, const MachineConfig &machine, int ii,
+    const std::vector<std::int64_t> &static_weights,
+    RefineOptions options)
+    : ddg_(ddg), machine_(machine), ii_(ii),
+      staticWeights_(static_weights), options_(options),
+      estimator_(ddg, machine, ii, options.registerAware)
+{
+    GPSCHED_ASSERT(static_cast<int>(static_weights.size()) ==
+                       ddg.numEdges(),
+                   "static weight vector size mismatch");
+}
+
+int
+PartitionRefiner::macroOccupancy(const CoarseLevel &level, int macro,
+                                 FuClass cls) const
+{
+    const LatencyTable &lat = machine_.latencies();
+    int occ = 0;
+    for (NodeId v : level.members[macro]) {
+        Opcode op = ddg_.node(v).opcode;
+        if (fuClassOf(op) == cls)
+            occ += lat.occupancy(op);
+    }
+    return occ;
+}
+
+int
+PartitionRefiner::macroCluster(const CoarseLevel &level, int macro,
+                               const Partition &partition) const
+{
+    GPSCHED_ASSERT(!level.members[macro].empty(), "empty macro-node");
+    int cluster = partition.clusterOf(level.members[macro][0]);
+    for (NodeId v : level.members[macro]) {
+        GPSCHED_ASSERT(partition.clusterOf(v) == cluster,
+                       "macro-node straddles clusters");
+    }
+    return cluster;
+}
+
+void
+PartitionRefiner::moveMacro(const CoarseLevel &level, int macro,
+                            int cluster, Partition &partition) const
+{
+    for (NodeId v : level.members[macro])
+        partition.assign(v, cluster);
+}
+
+std::int64_t
+PartitionRefiner::staticGain(const CoarseLevel &level, int macro,
+                             int dest,
+                             const Partition &partition) const
+{
+    // Gain = cut weight that becomes internal (edges to dest) minus
+    // internal weight that becomes cut (edges within the source
+    // cluster but outside the macro-node).
+    int src = macroCluster(level, macro, partition);
+    std::int64_t gain = 0;
+    for (NodeId v : level.members[macro]) {
+        auto scanEdge = [&](EdgeId e, NodeId other) {
+            if (level.coarseOf[other] == macro)
+                return; // internal to the macro-node
+            int otherCluster = partition.clusterOf(other);
+            if (otherCluster == dest)
+                gain += staticWeights_[e];
+            else if (otherCluster == src)
+                gain -= staticWeights_[e];
+        };
+        for (EdgeId e : ddg_.outEdges(v))
+            scanEdge(e, ddg_.edge(e).dst);
+        for (EdgeId e : ddg_.inEdges(v))
+            scanEdge(e, ddg_.edge(e).src);
+    }
+    return gain;
+}
+
+bool
+PartitionRefiner::runBalancePass(const CoarseLevel &level,
+                                 Partition &partition,
+                                 int &budget) const
+{
+    const int clusters = machine_.numClusters();
+    const LatencyTable &lat = machine_.latencies();
+
+    // (cluster, class) occupancy bookkeeping.
+    std::vector<std::vector<int>> occ(
+        clusters, std::vector<int>(numFuClasses, 0));
+    for (NodeId v = 0; v < ddg_.numNodes(); ++v) {
+        Opcode op = ddg_.node(v).opcode;
+        occ[partition.clusterOf(v)][static_cast<int>(fuClassOf(op))] +=
+            lat.occupancy(op);
+    }
+    auto slots = [&](int k) {
+        return machine_.fuPerCluster(static_cast<FuClass>(k)) * ii_;
+    };
+
+    bool changedAny = false;
+    std::vector<bool> considered(numFuClasses, false);
+    int guard = 4 * level.numNodes() + 16;
+
+    while (budget > 0 && guard-- > 0) {
+        // Most saturated overloaded (cluster, class).
+        int bestC = -1, bestK = -1;
+        double bestRatio = 1.0;
+        for (int c = 0; c < clusters; ++c) {
+            for (int k = 0; k < numFuClasses; ++k) {
+                double ratio = static_cast<double>(occ[c][k]) /
+                               static_cast<double>(slots(k));
+                if (ratio > bestRatio) {
+                    bestRatio = ratio;
+                    bestC = c;
+                    bestK = k;
+                }
+            }
+        }
+        if (bestC == -1)
+            break; // nothing overloaded
+
+        considered[bestK] = true;
+        FuClass cls = static_cast<FuClass>(bestK);
+
+        // Best feasible movement of a macro-node using this resource
+        // out of the overloaded cluster.
+        int moveMacroIdx = -1, moveDest = -1;
+        std::int64_t moveGain = 0;
+        bool haveMove = false;
+        for (int m = 0; m < level.numNodes(); ++m) {
+            if (level.members[m].empty())
+                continue;
+            if (macroCluster(level, m, partition) != bestC)
+                continue;
+            int mocc = macroOccupancy(level, m, cls);
+            if (mocc == 0)
+                continue;
+            for (int c2 = 0; c2 < clusters; ++c2) {
+                if (c2 == bestC)
+                    continue;
+                // Must not overload this resource in c2, nor any
+                // resource already considered (more critical).
+                bool ok = occ[c2][bestK] + mocc <= slots(bestK);
+                for (int k = 0; ok && k < numFuClasses; ++k) {
+                    if (!considered[k] || k == bestK)
+                        continue;
+                    int mk = macroOccupancy(level, m,
+                                            static_cast<FuClass>(k));
+                    ok = occ[c2][k] + mk <= slots(k);
+                }
+                if (!ok)
+                    continue;
+                std::int64_t gain =
+                    staticGain(level, m, c2, partition);
+                if (!haveMove || gain > moveGain) {
+                    haveMove = true;
+                    moveGain = gain;
+                    moveMacroIdx = m;
+                    moveDest = c2;
+                }
+            }
+        }
+        if (!haveMove)
+            break; // wait for a finer level (paper Section 3.2.2)
+
+        // Apply and update bookkeeping.
+        for (int k = 0; k < numFuClasses; ++k) {
+            int mk = macroOccupancy(level, moveMacroIdx,
+                                    static_cast<FuClass>(k));
+            occ[bestC][k] -= mk;
+            occ[moveDest][k] += mk;
+        }
+        moveMacro(level, moveMacroIdx, moveDest, partition);
+        changedAny = true;
+        --budget;
+    }
+    return changedAny;
+}
+
+bool
+PartitionRefiner::runEdgeImpactPass(const CoarseLevel &level,
+                                    Partition &partition,
+                                    int &budget) const
+{
+    const int clusters = machine_.numClusters();
+    const LatencyTable &lat = machine_.latencies();
+    bool changedAny = false;
+
+    PartitionEstimate current = estimator_.evaluate(partition);
+
+    auto slotOf = [&](int k) {
+        return machine_.fuPerCluster(static_cast<FuClass>(k)) * ii_;
+    };
+
+    while (budget > 0) {
+        // Occupancy table for feasibility tests.
+        std::vector<std::vector<int>> occ(
+            clusters, std::vector<int>(numFuClasses, 0));
+        for (NodeId v = 0; v < ddg_.numNodes(); ++v) {
+            Opcode op = ddg_.node(v).opcode;
+            occ[partition.clusterOf(v)]
+               [static_cast<int>(fuClassOf(op))] += lat.occupancy(op);
+        }
+
+        auto moveFits = [&](int macro, int from, int to) {
+            for (int k = 0; k < numFuClasses; ++k) {
+                int mk = macroOccupancy(level, macro,
+                                        static_cast<FuClass>(k));
+                if (occ[to][k] + mk > slotOf(k))
+                    return false;
+                (void)from;
+            }
+            return true;
+        };
+        auto swapFits = [&](int ma, int ca, int mb, int cb) {
+            // ma: ca -> cb, mb: cb -> ca.
+            for (int k = 0; k < numFuClasses; ++k) {
+                FuClass cls = static_cast<FuClass>(k);
+                int ak = macroOccupancy(level, ma, cls);
+                int bk = macroOccupancy(level, mb, cls);
+                if (occ[cb][k] - bk + ak > slotOf(k))
+                    return false;
+                if (occ[ca][k] - ak + bk > slotOf(k))
+                    return false;
+            }
+            return true;
+        };
+
+        // Mutual edge weight between two macro-nodes (for swap gain).
+        auto mutualWeight = [&](int ma, int mb) {
+            std::int64_t w = 0;
+            for (NodeId v : level.members[ma]) {
+                for (EdgeId e : ddg_.outEdges(v)) {
+                    if (level.coarseOf[ddg_.edge(e).dst] == mb)
+                        w += staticWeights_[e];
+                }
+                for (EdgeId e : ddg_.inEdges(v)) {
+                    if (level.coarseOf[ddg_.edge(e).src] == mb)
+                        w += staticWeights_[e];
+                }
+            }
+            return w;
+        };
+
+        std::vector<Change> candidates;
+        for (int m = 0; m < level.numNodes(); ++m) {
+            if (level.members[m].empty())
+                continue;
+            int c1 = macroCluster(level, m, partition);
+
+            // Neighbouring clusters of this macro-node.
+            std::set<int> neighbours;
+            for (NodeId v : level.members[m]) {
+                for (EdgeId e : ddg_.outEdges(v)) {
+                    int c = partition.clusterOf(ddg_.edge(e).dst);
+                    if (c != c1)
+                        neighbours.insert(c);
+                }
+                for (EdgeId e : ddg_.inEdges(v)) {
+                    int c = partition.clusterOf(ddg_.edge(e).src);
+                    if (c != c1)
+                        neighbours.insert(c);
+                }
+            }
+
+            for (int c2 : neighbours) {
+                if (moveFits(m, c1, c2)) {
+                    std::int64_t gain =
+                        staticGain(level, m, c2, partition);
+                    if (gain > 0)
+                        candidates.push_back(
+                            Change{m, c2, -1, -1, gain});
+                } else {
+                    // Pairwise interchanges that free the capacity.
+                    int considered = 0;
+                    for (int u = 0;
+                         u < level.numNodes() && considered < 8;
+                         ++u) {
+                        if (u == m || level.members[u].empty())
+                            continue;
+                        if (macroCluster(level, u, partition) != c2)
+                            continue;
+                        if (!swapFits(m, c1, u, c2))
+                            continue;
+                        ++considered;
+                        std::int64_t gain =
+                            staticGain(level, m, c2, partition) +
+                            staticGain(level, u, c1, partition) -
+                            2 * mutualWeight(m, u);
+                        if (gain > 0)
+                            candidates.push_back(
+                                Change{m, c2, u, c1, gain});
+                    }
+                }
+            }
+        }
+        if (candidates.empty())
+            break;
+
+        // Pre-rank by the static proxy; evaluate only the top K
+        // exactly.
+        std::sort(candidates.begin(), candidates.end(),
+                  [](const Change &x, const Change &y) {
+                      if (x.staticGain != y.staticGain)
+                          return x.staticGain > y.staticGain;
+                      if (x.macroA != y.macroA)
+                          return x.macroA < y.macroA;
+                      return x.macroB < y.macroB;
+                  });
+        int topK = std::max(1, options_.prescanTopK);
+        if (static_cast<int>(candidates.size()) > topK)
+            candidates.resize(topK);
+
+        bool haveBest = false;
+        Change bestChange;
+        PartitionEstimate bestEst;
+        for (const Change &cand : candidates) {
+            Partition trial = partition;
+            moveMacro(level, cand.macroA, cand.destA, trial);
+            if (cand.macroB != -1)
+                moveMacro(level, cand.macroB, cand.destB, trial);
+            PartitionEstimate est = estimator_.evaluate(trial);
+            // Largest execution-time benefit; tie-breaks: larger cut
+            // slack, then fewer cut edges (paper Section 3.2.2).
+            bool better = false;
+            if (!haveBest) {
+                better = true;
+            } else if (est.execTime != bestEst.execTime) {
+                better = est.execTime < bestEst.execTime;
+            } else if (est.cutSlackTotal != bestEst.cutSlackTotal) {
+                better = est.cutSlackTotal > bestEst.cutSlackTotal;
+            } else {
+                better = est.cutEdges < bestEst.cutEdges;
+            }
+            if (better) {
+                haveBest = true;
+                bestChange = cand;
+                bestEst = est;
+            }
+        }
+
+        if (!haveBest || bestEst.execTime >= current.execTime)
+            break; // no positive benefit remains
+
+        moveMacro(level, bestChange.macroA, bestChange.destA,
+                  partition);
+        if (bestChange.macroB != -1) {
+            moveMacro(level, bestChange.macroB, bestChange.destB,
+                      partition);
+        }
+        current = bestEst;
+        changedAny = true;
+        --budget;
+    }
+    return changedAny;
+}
+
+void
+PartitionRefiner::refineLevel(const CoarseLevel &level,
+                              Partition &partition) const
+{
+    int budget = options_.maxChangesPerLevel > 0
+                     ? options_.maxChangesPerLevel
+                     : 2 * level.numNodes() + 8;
+    if (options_.balancePass)
+        runBalancePass(level, partition, budget);
+    if (options_.edgeImpactPass)
+        runEdgeImpactPass(level, partition, budget);
+}
+
+} // namespace gpsched

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Partition refinement (paper Section 3.2.2).
+ *
+ * At each level of the multilevel hierarchy, from coarsest to
+ * finest, two heuristics improve the induced partition:
+ *
+ *  1. *Balance pass* — while some (cluster, FU class) is utilized
+ *     above 100%, move a macro-node that uses the overloaded
+ *     resource out of the overloaded cluster, provided the
+ *     destination does not overload this resource or resources fixed
+ *     earlier in the pass. If no movement helps, the pass defers to
+ *     a finer level.
+ *
+ *  2. *Edge-impact pass* — consider moving each boundary macro-node
+ *     to a neighbouring cluster (and, when capacity blocks the move,
+ *     pairwise interchanges that free the capacity), apply the
+ *     single change with the largest estimated execution-time
+ *     benefit; ties prefer larger total slack of cut edges, then
+ *     fewer cut edges; repeat until no positive-benefit change
+ *     remains.
+ *
+ * Exact execution-time estimates are relatively expensive, so
+ * candidates are pre-ranked with a static gain proxy (sum of
+ * Section-3.2.1 edge weights that enter/leave the cut) and only the
+ * top candidates are evaluated exactly. This keeps the GP scheme
+ * faster than URACAM, as in the paper's Table 2.
+ */
+
+#ifndef GPSCHED_PARTITION_REFINE_HH
+#define GPSCHED_PARTITION_REFINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/ddg.hh"
+#include "machine/machine.hh"
+#include "partition/coarsen.hh"
+#include "partition/estimator.hh"
+#include "partition/partition.hh"
+
+namespace gpsched
+{
+
+/** Refinement knobs (defaults reproduce the paper's scheme). */
+struct RefineOptions
+{
+    bool balancePass = true;
+    bool edgeImpactPass = true;
+
+    /** Enable the register-pressure term of the estimator (paper
+     *  Section 4.2 future work; off reproduces the paper). */
+    bool registerAware = false;
+
+    /** Exact estimator evaluations per edge-impact round. */
+    int prescanTopK = 3;
+
+    /** Cap on applied changes per level (0 = 2 * nodes + 8). */
+    int maxChangesPerLevel = 0;
+};
+
+/** Refines partitions at macro-node granularity. */
+class PartitionRefiner
+{
+  public:
+    /**
+     * @param static_weights per-original-edge Section-3.2.1 weights
+     *        (the cheap gain proxy); references must outlive the
+     *        refiner.
+     */
+    PartitionRefiner(const Ddg &ddg, const MachineConfig &machine,
+                     int ii,
+                     const std::vector<std::int64_t> &static_weights,
+                     RefineOptions options = {});
+
+    /**
+     * Runs both passes on @p partition, moving whole macro-nodes of
+     * @p level. @p partition maps original nodes.
+     */
+    void refineLevel(const CoarseLevel &level,
+                     Partition &partition) const;
+
+  private:
+    const Ddg &ddg_;
+    const MachineConfig &machine_;
+    int ii_;
+    const std::vector<std::int64_t> &staticWeights_;
+    RefineOptions options_;
+    PartitionEstimator estimator_;
+
+    /** Occupancy of ops of @p cls inside macro-node @p macro. */
+    int macroOccupancy(const CoarseLevel &level, int macro,
+                       FuClass cls) const;
+
+    /** Cluster of a macro-node (all members agree). */
+    int macroCluster(const CoarseLevel &level, int macro,
+                     const Partition &partition) const;
+
+    /** Moves all members of @p macro to @p cluster. */
+    void moveMacro(const CoarseLevel &level, int macro, int cluster,
+                   Partition &partition) const;
+
+    /**
+     * Static gain of moving @p macro to @p dest: cut weight removed
+     * minus cut weight created.
+     */
+    std::int64_t staticGain(const CoarseLevel &level, int macro,
+                            int dest, const Partition &partition) const;
+
+    bool runBalancePass(const CoarseLevel &level, Partition &partition,
+                        int &budget) const;
+
+    bool runEdgeImpactPass(const CoarseLevel &level,
+                           Partition &partition, int &budget) const;
+};
+
+} // namespace gpsched
+
+#endif // GPSCHED_PARTITION_REFINE_HH

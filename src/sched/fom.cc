@@ -1,0 +1,70 @@
+#include "sched/fom.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace gpsched
+{
+
+void
+FigureOfMerit::addComponent(double percentage)
+{
+    GPSCHED_ASSERT(percentage >= 0.0,
+                   "negative figure-of-merit component");
+    components_.push_back(percentage);
+}
+
+double
+FigureOfMerit::sum() const
+{
+    double total = 0.0;
+    for (double c : components_)
+        total += c;
+    return total;
+}
+
+double
+FigureOfMerit::maxComponent() const
+{
+    double best = 0.0;
+    for (double c : components_)
+        best = std::max(best, c);
+    return best;
+}
+
+bool
+FigureOfMerit::better(const FigureOfMerit &a, const FigureOfMerit &b,
+                      double threshold)
+{
+    GPSCHED_ASSERT(a.size() == b.size(),
+                   "figure-of-merit arity mismatch: ", a.size(),
+                   " vs ", b.size());
+    std::vector<double> sa = a.components_;
+    std::vector<double> sb = b.components_;
+    std::sort(sa.rbegin(), sa.rend());
+    std::sort(sb.rbegin(), sb.rend());
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+        if (std::abs(sa[i] - sb[i]) > threshold)
+            return sa[i] < sb[i];
+    }
+    return a.sum() < b.sum();
+}
+
+std::string
+FigureOfMerit::toString() const
+{
+    std::ostringstream oss;
+    oss << "[";
+    for (std::size_t i = 0; i < components_.size(); ++i) {
+        if (i)
+            oss << ", ";
+        oss << components_[i];
+    }
+    oss << "]";
+    return oss.str();
+}
+
+} // namespace gpsched

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure of merit for comparing partial schedules (paper Section
+ * 3.3.1).
+ *
+ * A figure of merit is a vector of percentages, one per critical
+ * resource (inter-cluster communication slots, per-cluster memory
+ * slots, per-cluster register lifetimes, plus the remaining-memory
+ * extension of Sections 3.3.2/3.3.4). To compare two figures, the
+ * components of each are sorted from highest to lowest and compared
+ * pairwise starting from the highest until a significant difference
+ * (above a threshold) appears; the figure with the lower component
+ * wins. If every pair is similar, the lower component sum wins.
+ * This "benefit the weakest resource" rule steers scheduling away
+ * from saturating any single resource.
+ */
+
+#ifndef GPSCHED_SCHED_FOM_HH
+#define GPSCHED_SCHED_FOM_HH
+
+#include <string>
+#include <vector>
+
+namespace gpsched
+{
+
+/** Multi-dimensional figure of merit; lower is better. */
+class FigureOfMerit
+{
+  public:
+    FigureOfMerit() = default;
+
+    /** Appends one component (a percentage; may exceed 100). */
+    void addComponent(double percentage);
+
+    /** Number of components. */
+    std::size_t size() const { return components_.size(); }
+
+    /** Component sum (final tie-break). */
+    double sum() const;
+
+    /** Largest component. */
+    double maxComponent() const;
+
+    /** Raw components (unsorted). */
+    const std::vector<double> &components() const
+    {
+        return components_;
+    }
+
+    /**
+     * True when @p a is strictly better (lower) than @p b under the
+     * sorted pairwise comparison with @p threshold percentage
+     * points. Figures must have equal arity.
+     */
+    static bool better(const FigureOfMerit &a, const FigureOfMerit &b,
+                       double threshold);
+
+    /** Debug rendering. */
+    std::string toString() const;
+
+  private:
+    std::vector<double> components_;
+};
+
+} // namespace gpsched
+
+#endif // GPSCHED_SCHED_FOM_HH

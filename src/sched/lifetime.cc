@@ -1,0 +1,87 @@
+#include "sched/lifetime.hh"
+
+#include <algorithm>
+
+#include "sched/mrt.hh"
+#include "support/logging.hh"
+
+namespace gpsched
+{
+
+LifetimeTracker::LifetimeTracker(int num_regs, int ii)
+    : numRegs_(num_regs)
+{
+    GPSCHED_ASSERT(num_regs >= 0, "negative register count");
+    GPSCHED_ASSERT(ii >= 1, "II must be >= 1");
+    live_.assign(ii, 0);
+}
+
+void
+LifetimeTracker::cover(const LiveSegment &seg, std::vector<int> &counts,
+                       int delta)
+{
+    GPSCHED_ASSERT(seg.to >= seg.from, "bad segment [", seg.from, ",",
+                   seg.to, "]");
+    const int ii = static_cast<int>(counts.size());
+    int len = seg.length();
+    int full = len / ii;
+    int rem = len % ii;
+    for (int s = 0; s < ii; ++s)
+        counts[s] += delta * full;
+    for (int i = 0; i < rem; ++i)
+        counts[wrapSlot(seg.from + i, ii)] += delta;
+}
+
+void
+LifetimeTracker::apply(const LiveSegment &seg, int delta)
+{
+    cover(seg, live_, delta);
+    used_ += delta * seg.length();
+}
+
+void
+LifetimeTracker::add(const LiveSegment &seg)
+{
+    apply(seg, 1);
+}
+
+void
+LifetimeTracker::remove(const LiveSegment &seg)
+{
+    apply(seg, -1);
+    for (int count : live_)
+        GPSCHED_ASSERT(count >= 0, "negative live count after remove");
+}
+
+bool
+LifetimeTracker::fitsWithDiff(
+    const std::vector<LiveSegment> &removed,
+    const std::vector<LiveSegment> &added) const
+{
+    std::vector<int> counts = live_;
+    for (const auto &seg : removed)
+        cover(seg, counts, -1);
+    for (const auto &seg : added)
+        cover(seg, counts, 1);
+    for (int count : counts) {
+        GPSCHED_ASSERT(count >= 0, "diff removes unknown coverage");
+        if (count > numRegs_)
+            return false;
+    }
+    return true;
+}
+
+int
+LifetimeTracker::maxLive() const
+{
+    return live_.empty() ? 0
+                         : *std::max_element(live_.begin(), live_.end());
+}
+
+int
+LifetimeTracker::liveAt(int cycle) const
+{
+    return live_[wrapSlot(cycle, static_cast<int>(live_.size()))];
+}
+
+} // namespace gpsched

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Register-pressure tracking for one cluster's register file under
+ * modulo execution.
+ *
+ * A value live over flat cycles [from, to] (inclusive) occupies one
+ * register at every kernel slot congruent to a covered cycle; a
+ * lifetime longer than II occupies several registers at once (the
+ * kernel holds multiple overlapping iterations). The tracker keeps
+ * exact per-slot live counts; feasibility is MaxLive <= registers,
+ * the standard register model for modulo schedules.
+ */
+
+#ifndef GPSCHED_SCHED_LIFETIME_HH
+#define GPSCHED_SCHED_LIFETIME_HH
+
+#include <vector>
+
+namespace gpsched
+{
+
+/** Half-open style is error-prone with wrapping; segments here are
+ *  inclusive of both endpoints. */
+struct LiveSegment
+{
+    int from = 0;
+    int to = 0; ///< must satisfy to >= from
+
+    /** Covered cycles. */
+    int length() const { return to - from + 1; }
+};
+
+/** Per-cluster register lifetime tracker. */
+class LifetimeTracker
+{
+  public:
+    /** @param num_regs register-file size; @param ii kernel length. */
+    LifetimeTracker(int num_regs, int ii);
+
+    /** Adds a live segment. */
+    void add(const LiveSegment &seg);
+
+    /** Removes a previously added segment. */
+    void remove(const LiveSegment &seg);
+
+    /**
+     * True when adding @p added and removing @p removed keeps
+     * MaxLive within the register file. Pure query.
+     */
+    bool fitsWithDiff(const std::vector<LiveSegment> &removed,
+                      const std::vector<LiveSegment> &added) const;
+
+    /** Current maximum live count over kernel slots. */
+    int maxLive() const;
+
+    /** Live count at kernel slot of @p cycle. */
+    int liveAt(int cycle) const;
+
+    /** Sum of live counts over the kernel (register-cycles). */
+    int usedRegCycles() const { return used_; }
+
+    /** Register-cycles available per kernel iteration. */
+    int capacity() const
+    {
+        return numRegs_ * static_cast<int>(live_.size());
+    }
+
+    /** Register file size. */
+    int numRegs() const { return numRegs_; }
+
+  private:
+    int numRegs_;
+    int used_ = 0;
+    std::vector<int> live_;
+
+    /** Applies +delta to every slot covered by @p seg. */
+    void apply(const LiveSegment &seg, int delta);
+
+    /** Adds segment coverage of @p seg into @p counts. */
+    static void cover(const LiveSegment &seg, std::vector<int> &counts,
+                      int delta);
+};
+
+} // namespace gpsched
+
+#endif // GPSCHED_SCHED_LIFETIME_HH

@@ -1,0 +1,29 @@
+#include "sched/mii.hh"
+
+#include <algorithm>
+
+#include "graph/ddg_analysis.hh"
+
+namespace gpsched
+{
+
+int
+resMii(const Ddg &ddg, const MachineConfig &machine)
+{
+    int worst = 1;
+    for (int k = 0; k < numFuClasses; ++k) {
+        FuClass cls = static_cast<FuClass>(k);
+        int occ = ddg.totalOccupancy(cls, machine.latencies());
+        int units = machine.totalFu(cls);
+        worst = std::max(worst, (occ + units - 1) / units);
+    }
+    return worst;
+}
+
+int
+computeMii(const Ddg &ddg, const MachineConfig &machine)
+{
+    return std::max(resMii(ddg, machine), recMii(ddg));
+}
+
+} // namespace gpsched

@@ -1,0 +1,66 @@
+#include "sched/mrt.hh"
+
+#include "support/logging.hh"
+
+namespace gpsched
+{
+
+ModuloReservationTable::ModuloReservationTable(int num_units, int ii)
+    : numUnits_(num_units), ii_(ii)
+{
+    GPSCHED_ASSERT(num_units >= 0, "negative unit count");
+    GPSCHED_ASSERT(ii >= 1, "II must be >= 1");
+    busy_.assign(ii, 0);
+}
+
+bool
+ModuloReservationTable::canReserve(int cycle, int occupancy) const
+{
+    GPSCHED_ASSERT(occupancy >= 1, "occupancy must be >= 1");
+    if (occupancy >= ii_) {
+        // The op busies every kernel slot at least once; it fits only
+        // if every slot has a unit free for the required multiplicity.
+        int full = occupancy / ii_;
+        int rem = occupancy % ii_;
+        for (int s = 0; s < ii_; ++s) {
+            int need = full + (wrapSlot(s - cycle, ii_) < rem ? 1 : 0);
+            if (busy_[s] + need > numUnits_)
+                return false;
+        }
+        return true;
+    }
+    for (int i = 0; i < occupancy; ++i) {
+        if (busy_[wrapSlot(cycle + i, ii_)] + 1 > numUnits_)
+            return false;
+    }
+    return true;
+}
+
+void
+ModuloReservationTable::reserve(int cycle, int occupancy)
+{
+    GPSCHED_ASSERT(canReserve(cycle, occupancy),
+                   "reserve without canReserve");
+    for (int i = 0; i < occupancy; ++i)
+        ++busy_[wrapSlot(cycle + i, ii_)];
+    used_ += occupancy;
+}
+
+void
+ModuloReservationTable::release(int cycle, int occupancy)
+{
+    for (int i = 0; i < occupancy; ++i) {
+        int slot = wrapSlot(cycle + i, ii_);
+        GPSCHED_ASSERT(busy_[slot] > 0, "release of free slot");
+        --busy_[slot];
+    }
+    used_ -= occupancy;
+}
+
+int
+ModuloReservationTable::busyAt(int cycle) const
+{
+    return busy_[wrapSlot(cycle, ii_)];
+}
+
+} // namespace gpsched

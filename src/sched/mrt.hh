@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Modulo reservation table: tracks occupancy of one resource pool
+ * (the INT/FP/MEM units of one cluster, or the bus pool) across the
+ * II kernel slots of a modulo schedule.
+ *
+ * An operation issued at flat cycle t with occupancy c busies one
+ * unit at kernel slots (t mod II) .. (t+c-1 mod II). Occupancy
+ * counting per slot is the standard (slightly optimistic for
+ * multi-cycle ops, exact for pipelined ones) modulo-scheduling
+ * resource model. Flat cycles may be negative; slots use Euclidean
+ * modulo.
+ */
+
+#ifndef GPSCHED_SCHED_MRT_HH
+#define GPSCHED_SCHED_MRT_HH
+
+#include <vector>
+
+namespace gpsched
+{
+
+/** Euclidean modulo: result always in [0, m). */
+inline int
+wrapSlot(int cycle, int m)
+{
+    int r = cycle % m;
+    return r < 0 ? r + m : r;
+}
+
+/** Reservation table for one resource pool at one II. */
+class ModuloReservationTable
+{
+  public:
+    /** @param num_units pool size; @param ii kernel length. */
+    ModuloReservationTable(int num_units, int ii);
+
+    /** True when @p occupancy slots starting at @p cycle fit. */
+    bool canReserve(int cycle, int occupancy) const;
+
+    /** Reserves; caller must have checked canReserve. */
+    void reserve(int cycle, int occupancy);
+
+    /** Releases a prior reservation. */
+    void release(int cycle, int occupancy);
+
+    /** Kernel length. */
+    int ii() const { return ii_; }
+
+    /** Pool size. */
+    int numUnits() const { return numUnits_; }
+
+    /** Busy unit-slots summed over the kernel. */
+    int usedSlots() const { return used_; }
+
+    /** Total unit-slots in the kernel (units * II). */
+    int totalSlots() const { return numUnits_ * ii_; }
+
+    /** totalSlots() - usedSlots(). */
+    int freeSlots() const { return totalSlots() - used_; }
+
+    /** Busy units at kernel slot (cycle mod II). */
+    int busyAt(int cycle) const;
+
+  private:
+    int numUnits_;
+    int ii_;
+    int used_ = 0;
+    std::vector<int> busy_;
+};
+
+} // namespace gpsched
+
+#endif // GPSCHED_SCHED_MRT_HH

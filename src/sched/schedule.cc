@@ -1,0 +1,854 @@
+#include "sched/schedule.hh"
+
+#include <algorithm>
+#include <climits>
+#include <map>
+#include <utility>
+
+#include "support/logging.hh"
+
+namespace gpsched
+{
+
+namespace
+{
+
+/** Clamped percentage of @p free consumed by @p delta. */
+double
+consumedPct(int delta, int free)
+{
+    if (delta <= 0)
+        return 0.0;
+    if (free <= 0)
+        return 200.0;
+    return 100.0 * delta / free;
+}
+
+/** Utilization percentage used/total with a zero-total guard. */
+double
+usedPct(int used, int total)
+{
+    if (total <= 0)
+        return used > 0 ? 200.0 : 0.0;
+    return 100.0 * used / total;
+}
+
+/** Total lifetime length of a segment list. */
+int
+totalLength(const std::vector<LiveSegment> &segs)
+{
+    int total = 0;
+    for (const auto &seg : segs)
+        total += seg.length();
+    return total;
+}
+
+} // namespace
+
+PartialSchedule::PartialSchedule(const Ddg &ddg,
+                                 const MachineConfig &machine, int ii,
+                                 std::vector<int> planned_mem_per_cluster,
+                                 double fom_threshold)
+    : ddg_(ddg), machine_(machine), ii_(ii),
+      fomThreshold_(fom_threshold),
+      busMrt_(machine.numBuses(), ii),
+      plannedMemOps_(std::move(planned_mem_per_cluster))
+{
+    GPSCHED_ASSERT(ii >= 1, "II must be >= 1");
+    const int num_clusters = machine_.numClusters();
+    GPSCHED_ASSERT(plannedMemOps_.empty() ||
+                   static_cast<int>(plannedMemOps_.size()) ==
+                       num_clusters,
+                   "planned memory vector arity mismatch");
+
+    placed_.resize(ddg_.numNodes());
+    values_.resize(ddg_.numNodes());
+    fuMrt_.reserve(num_clusters * numFuClasses);
+    for (int c = 0; c < num_clusters; ++c) {
+        for (int cls = 0; cls < numFuClasses; ++cls) {
+            fuMrt_.emplace_back(
+                machine_.fuPerCluster(static_cast<FuClass>(cls)), ii);
+        }
+    }
+    regs_.reserve(num_clusters);
+    for (int c = 0; c < num_clusters; ++c)
+        regs_.emplace_back(machine_.regsPerCluster(), ii);
+    overheadMemOps_.assign(num_clusters, 0);
+    origMemOpsTotal_ =
+        ddg_.totalOccupancy(FuClass::Mem, machine_.latencies());
+}
+
+ModuloReservationTable &
+PartialSchedule::fu(int cluster, FuClass cls)
+{
+    return fuMrt_[cluster * numFuClasses + static_cast<int>(cls)];
+}
+
+const ModuloReservationTable &
+PartialSchedule::fu(int cluster, FuClass cls) const
+{
+    return fuMrt_[cluster * numFuClasses + static_cast<int>(cls)];
+}
+
+bool
+PartialSchedule::isScheduled(NodeId v) const
+{
+    return placed_[v].scheduled;
+}
+
+int
+PartialSchedule::cycleOf(NodeId v) const
+{
+    GPSCHED_ASSERT(isScheduled(v), "cycleOf of unscheduled node ", v);
+    return placed_[v].cycle;
+}
+
+int
+PartialSchedule::clusterOf(NodeId v) const
+{
+    GPSCHED_ASSERT(isScheduled(v), "clusterOf of unscheduled node ", v);
+    return placed_[v].cluster;
+}
+
+int
+PartialSchedule::latencyOf(NodeId v) const
+{
+    return machine_.latencies().latency(ddg_.node(v).opcode);
+}
+
+int
+PartialSchedule::occupancyOf(NodeId v) const
+{
+    return machine_.latencies().occupancy(ddg_.node(v).opcode);
+}
+
+int
+PartialSchedule::writeCycleOf(NodeId v) const
+{
+    return cycleOf(v) + latencyOf(v);
+}
+
+int
+PartialSchedule::effLat(EdgeId e) const
+{
+    const DdgEdge &edge = ddg_.edge(e);
+    return edge.latency - ii_ * edge.distance;
+}
+
+int
+PartialSchedule::memFreeSlots(int cluster) const
+{
+    return fu(cluster, FuClass::Mem).freeSlots();
+}
+
+bool
+PartialSchedule::homeReadTimeValid(const ValueState &vs, int time) const
+{
+    if (!vs.spilled)
+        return true;
+    int reload =
+        vs.spillLd + machine_.latencies().latency(Opcode::SpillLd);
+    return time <= vs.spillSt || time >= reload;
+}
+
+std::vector<LiveSegment>
+PartialSchedule::segmentsFromState(int write_cycle,
+                                   const std::multiset<int> &events,
+                                   bool home, int arrival, bool spilled,
+                                   int spill_st, int spill_ld) const
+{
+    std::vector<LiveSegment> segs;
+    if (home) {
+        if (!spilled) {
+            int last = write_cycle;
+            if (!events.empty())
+                last = std::max(last, *events.rbegin());
+            segs.push_back({write_cycle, last});
+        } else {
+            int reload = spill_ld +
+                machine_.latencies().latency(Opcode::SpillLd);
+            segs.push_back({write_cycle, spill_st});
+            int last = INT_MIN;
+            if (!events.empty())
+                last = *events.rbegin();
+            if (last >= reload)
+                segs.push_back({reload, last});
+        }
+    } else {
+        if (events.empty())
+            return segs;
+        int last = std::max(*events.rbegin(), arrival);
+        segs.push_back({arrival, last});
+    }
+    return segs;
+}
+
+std::vector<LiveSegment>
+PartialSchedule::currentSegments(NodeId p, int cluster) const
+{
+    const ValueState &vs = values_[p];
+    auto ev_it = vs.events.find(cluster);
+    static const std::multiset<int> no_events;
+    const std::multiset<int> &events =
+        ev_it == vs.events.end() ? no_events : ev_it->second;
+    bool home = placed_[p].cluster == cluster;
+    int arrival = 0;
+    if (!home) {
+        auto t_it = vs.transfers.find(cluster);
+        if (t_it == vs.transfers.end())
+            return {};
+        arrival = t_it->second.arrivalCycle;
+    }
+    return segmentsFromState(writeCycleOf(p), events, home, arrival,
+                             vs.spilled, vs.spillSt, vs.spillLd);
+}
+
+void
+PartialSchedule::setRegistered(NodeId p, int cluster,
+                               std::vector<LiveSegment> segs)
+{
+    ValueState &vs = values_[p];
+    auto it = vs.registered.find(cluster);
+    if (it != vs.registered.end()) {
+        for (const auto &seg : it->second)
+            regs_[cluster].remove(seg);
+    }
+    for (const auto &seg : segs)
+        regs_[cluster].add(seg);
+    if (segs.empty()) {
+        if (it != vs.registered.end())
+            vs.registered.erase(it);
+    } else {
+        vs.registered[cluster] = std::move(segs);
+    }
+}
+
+int
+PartialSchedule::findSlot(const ModuloReservationTable &mrt, int from,
+                          int to, int occupancy,
+                          const std::vector<std::pair<int, int>> &claimed,
+                          int ignore_cycle, int ignore_occ)
+{
+    ModuloReservationTable probe = mrt;
+    if (ignore_cycle != INT_MIN && ignore_occ > 0)
+        probe.release(ignore_cycle, ignore_occ);
+    for (const auto &[cycle, occ] : claimed) {
+        if (!probe.canReserve(cycle, occ))
+            return INT_MIN; // claims already exhaust the pool
+        probe.reserve(cycle, occ);
+    }
+    int step = from <= to ? 1 : -1;
+    for (int cycle = from;; cycle += step) {
+        if (probe.canReserve(cycle, occupancy))
+            return cycle;
+        if (cycle == to)
+            break;
+    }
+    return INT_MIN;
+}
+
+bool
+PartialSchedule::planTransfer(NodeId producer, int dest_cluster,
+                              int ready, int use,
+                              const PlacementPlan &plan,
+                              TransferPlan &out) const
+{
+    const ValueState &vs = values_[producer];
+    const int home = producer == plan.node ? plan.cluster
+                                           : placed_[producer].cluster;
+    GPSCHED_ASSERT(home != dest_cluster,
+                   "transfer within a single cluster");
+    const LatencyTable &lat = machine_.latencies();
+    const int lat_bus = machine_.busLatency();
+    const int lat_st = lat.latency(Opcode::CommSt);
+    const int occ_st = lat.occupancy(Opcode::CommSt);
+    const int lat_ld = lat.latency(Opcode::CommLd);
+    const int occ_ld = lat.occupancy(Opcode::CommLd);
+
+    // Collect the slots other parts of this plan already claim, and
+    // the slots freed when an existing transfer is being replaced.
+    std::vector<std::pair<int, int>> claimed_bus;
+    std::vector<std::pair<int, int>> claimed_home_mem;
+    std::vector<std::pair<int, int>> claimed_dest_mem;
+    if (plan.node != invalidNode &&
+        fuClassOf(ddg_.node(plan.node).opcode) == FuClass::Mem) {
+        int op_occ = lat.occupancy(ddg_.node(plan.node).opcode);
+        if (plan.cluster == home)
+            claimed_home_mem.push_back({plan.cycle, op_occ});
+        if (plan.cluster == dest_cluster)
+            claimed_dest_mem.push_back({plan.cycle, op_occ});
+    }
+    for (const auto &tp : plan.transfers) {
+        const Transfer &t = tp.transfer;
+        int t_home = t.producer == plan.node
+                         ? plan.cluster
+                         : placed_[t.producer].cluster;
+        if (t.viaBus) {
+            claimed_bus.push_back({t.busCycle, lat_bus});
+            continue;
+        }
+        if (t_home == home)
+            claimed_home_mem.push_back({t.stCycle, occ_st});
+        if (t_home == dest_cluster)
+            claimed_dest_mem.push_back({t.stCycle, occ_st});
+        if (t.destCluster == home)
+            claimed_home_mem.push_back({t.ldCycle, occ_ld});
+        if (t.destCluster == dest_cluster)
+            claimed_dest_mem.push_back({t.ldCycle, occ_ld});
+    }
+    int ign_bus_cycle = INT_MIN, ign_bus_occ = 0;
+    int ign_home_cycle = INT_MIN, ign_home_occ = 0;
+    int ign_dest_cycle = INT_MIN, ign_dest_occ = 0;
+    auto old_it = vs.transfers.find(dest_cluster);
+    if (old_it != vs.transfers.end()) {
+        const Transfer &old = old_it->second;
+        if (old.viaBus) {
+            ign_bus_cycle = old.busCycle;
+            ign_bus_occ = lat_bus;
+        } else {
+            ign_home_cycle = old.stCycle;
+            ign_home_occ = occ_st;
+            ign_dest_cycle = old.ldCycle;
+            ign_dest_occ = occ_ld;
+        }
+    }
+
+    // The producer's spill split (if any) restricts home read times to
+    // at most two intervals.
+    auto valid_ranges = [&](int lo, int hi) {
+        std::vector<std::pair<int, int>> ranges;
+        if (lo > hi)
+            return ranges;
+        if (!vs.spilled || producer == plan.node) {
+            ranges.push_back({lo, hi});
+            return ranges;
+        }
+        int reload = vs.spillLd + lat.latency(Opcode::SpillLd);
+        if (lo <= std::min(hi, vs.spillSt))
+            ranges.push_back({lo, std::min(hi, vs.spillSt)});
+        if (std::max(lo, reload) <= hi)
+            ranges.push_back({std::max(lo, reload), hi});
+        return ranges;
+    };
+
+    // Bus first: earliest read slot keeps the home lifetime shortest.
+    if (machine_.numBuses() > 0) {
+        for (const auto &[lo, hi] : valid_ranges(ready, use - lat_bus)) {
+            int b = findSlot(busMrt_, lo, hi, lat_bus, claimed_bus,
+                             ign_bus_cycle, ign_bus_occ);
+            if (b == INT_MIN)
+                continue;
+            out.transfer = Transfer{producer, dest_cluster, true,
+                                    b, 0, 0, b, b + lat_bus};
+            return true;
+        }
+    }
+
+    // Communication through memory: earliest store, latest load.
+    const ModuloReservationTable &home_mem = fu(home, FuClass::Mem);
+    const ModuloReservationTable &dest_mem =
+        fu(dest_cluster, FuClass::Mem);
+    for (const auto &[lo, hi] :
+         valid_ranges(ready, use - lat_ld - lat_st)) {
+        int st = lo;
+        while (st <= hi) {
+            st = findSlot(home_mem, st, hi, occ_st, claimed_home_mem,
+                          ign_home_cycle, ign_home_occ);
+            if (st == INT_MIN)
+                break;
+            int ld = findSlot(dest_mem, use - lat_ld, st + lat_st,
+                              occ_ld, claimed_dest_mem, ign_dest_cycle,
+                              ign_dest_occ);
+            if (ld != INT_MIN) {
+                out.transfer = Transfer{producer, dest_cluster, false,
+                                        0, st, ld, st, ld + lat_ld};
+                return true;
+            }
+            ++st;
+        }
+    }
+    return false;
+}
+
+PlacementPlan
+PartialSchedule::planPlacement(NodeId v, int cluster, int cycle) const
+{
+    GPSCHED_ASSERT(!isScheduled(v), "node ", v, " already scheduled");
+    GPSCHED_ASSERT(cluster >= 0 && cluster < machine_.numClusters(),
+                   "cluster out of range");
+    const int num_clusters = machine_.numClusters();
+
+    PlacementPlan plan;
+    plan.node = v;
+    plan.cluster = cluster;
+    plan.cycle = cycle;
+    plan.memSlotsDelta.assign(num_clusters, 0);
+    plan.overheadMemDelta.assign(num_clusters, 0);
+    plan.regCyclesDelta.assign(num_clusters, 0);
+
+    const Opcode op = ddg_.node(v).opcode;
+    const LatencyTable &lat = machine_.latencies();
+
+    // --- 1. necessary precedence bounds ------------------------------
+    for (EdgeId eid : ddg_.inEdges(v)) {
+        const DdgEdge &e = ddg_.edge(eid);
+        if (e.src == v) {
+            // Self edge: start(v) >= start(v) + lat - II*dist.
+            if (effLat(eid) > 0)
+                return plan;
+            continue;
+        }
+        if (!isScheduled(e.src))
+            continue;
+        if (cycle < placed_[e.src].cycle + effLat(eid))
+            return plan;
+    }
+    for (EdgeId eid : ddg_.outEdges(v)) {
+        const DdgEdge &e = ddg_.edge(eid);
+        if (e.dst == v || !isScheduled(e.dst))
+            continue;
+        if (cycle > placed_[e.dst].cycle - effLat(eid))
+            return plan;
+    }
+
+    // --- 2. functional unit ------------------------------------------
+    const FuClass cls = fuClassOf(op);
+    const int occ = lat.occupancy(op);
+    if (!fu(cluster, cls).canReserve(cycle, occ))
+        return plan;
+    if (cls == FuClass::Mem)
+        plan.memSlotsDelta[cluster] += occ;
+
+    const int lat_bus = machine_.busLatency();
+    const int occ_st = lat.occupancy(Opcode::CommSt);
+    const int occ_ld = lat.occupancy(Opcode::CommLd);
+    auto add_transfer_deltas = [&](const TransferPlan &tp, int home) {
+        if (tp.transfer.viaBus) {
+            plan.busSlotsDelta += lat_bus;
+        } else {
+            plan.memSlotsDelta[home] += occ_st;
+            plan.memSlotsDelta[tp.transfer.destCluster] += occ_ld;
+            plan.overheadMemDelta[home] += occ_st;
+            plan.overheadMemDelta[tp.transfer.destCluster] += occ_ld;
+        }
+        if (!tp.replaces)
+            return;
+        const Transfer &old =
+            values_[tp.transfer.producer].transfers.at(
+                tp.transfer.destCluster);
+        if (old.viaBus) {
+            plan.busSlotsDelta -= lat_bus;
+        } else {
+            plan.memSlotsDelta[home] -= occ_st;
+            plan.memSlotsDelta[tp.transfer.destCluster] -= occ_ld;
+            plan.overheadMemDelta[home] -= occ_st;
+            plan.overheadMemDelta[tp.transfer.destCluster] -= occ_ld;
+        }
+    };
+
+    // --- 3. incoming values -------------------------------------------
+    std::map<NodeId, std::vector<EdgeId>> cross_in;
+    std::vector<int> own_events; // reads of v's value in its cluster
+    for (EdgeId eid : ddg_.inEdges(v)) {
+        const DdgEdge &e = ddg_.edge(eid);
+        if (!e.isFlow())
+            continue;
+        if (e.src == v) {
+            // Loop-carried self dependence: v reads its own value.
+            own_events.push_back(cycle + ii_ * e.distance);
+            continue;
+        }
+        if (!isScheduled(e.src))
+            continue;
+        int use = cycle + ii_ * e.distance;
+        if (placed_[e.src].cluster == cluster) {
+            if (!homeReadTimeValid(values_[e.src], use))
+                return plan;
+            plan.eventAdds.push_back({e.src, cluster, use});
+        } else {
+            cross_in[e.src].push_back(eid);
+        }
+    }
+    for (const auto &[p, edges] : cross_in) {
+        int use_min = INT_MAX;
+        for (EdgeId eid : edges)
+            use_min = std::min(use_min,
+                               cycle + ii_ * ddg_.edge(eid).distance);
+        const ValueState &vs = values_[p];
+        auto t_it = vs.transfers.find(cluster);
+        bool reuse = t_it != vs.transfers.end() &&
+                     t_it->second.arrivalCycle <= use_min;
+        if (!reuse) {
+            TransferPlan tp;
+            if (!planTransfer(p, cluster, writeCycleOf(p), use_min,
+                              plan, tp)) {
+                return plan;
+            }
+            tp.replaces = t_it != vs.transfers.end();
+            int home = placed_[p].cluster;
+            if (tp.replaces) {
+                plan.eventMoves.push_back({p, home,
+                                           t_it->second.readCycle,
+                                           tp.transfer.readCycle});
+            } else {
+                plan.eventAdds.push_back(
+                    {p, home, tp.transfer.readCycle});
+            }
+            add_transfer_deltas(tp, home);
+            plan.transfers.push_back(tp);
+        }
+        for (EdgeId eid : edges) {
+            plan.eventAdds.push_back(
+                {p, cluster, cycle + ii_ * ddg_.edge(eid).distance});
+        }
+    }
+
+    // --- 4. outgoing values to already-scheduled consumers -------------
+    std::map<int, std::vector<int>> cross_out; // dest cluster -> uses
+    for (EdgeId eid : ddg_.outEdges(v)) {
+        const DdgEdge &e = ddg_.edge(eid);
+        if (!e.isFlow() || e.dst == v || !isScheduled(e.dst))
+            continue;
+        int use = placed_[e.dst].cycle + ii_ * e.distance;
+        if (placed_[e.dst].cluster == cluster)
+            own_events.push_back(use);
+        else
+            cross_out[placed_[e.dst].cluster].push_back(use);
+    }
+    for (const auto &[dest, uses] : cross_out) {
+        int use_min = *std::min_element(uses.begin(), uses.end());
+        TransferPlan tp;
+        if (!planTransfer(v, dest, cycle + latencyOf(v), use_min, plan,
+                          tp)) {
+            return plan;
+        }
+        add_transfer_deltas(tp, cluster);
+        plan.transfers.push_back(tp);
+        own_events.push_back(tp.transfer.readCycle);
+        for (int use : uses)
+            plan.eventAdds.push_back({v, dest, use});
+    }
+    if (definesValue(op)) {
+        for (int t : own_events)
+            plan.eventAdds.push_back({v, cluster, t});
+    } else {
+        GPSCHED_ASSERT(own_events.empty() && cross_out.empty(),
+                       "flow edge out of a non-defining op");
+    }
+
+    // --- 5. lifetime changes -------------------------------------------
+    struct PairDelta
+    {
+        std::vector<int> adds;
+        std::vector<std::pair<int, int>> moves;
+        const TransferPlan *newTransfer = nullptr;
+    };
+    std::map<std::pair<NodeId, int>, PairDelta> touched;
+    for (const auto &ea : plan.eventAdds)
+        touched[{ea.value, ea.cluster}].adds.push_back(ea.time);
+    for (const auto &em : plan.eventMoves) {
+        touched[{em.value, em.cluster}].moves.push_back(
+            {em.oldTime, em.newTime});
+    }
+    for (const auto &tp : plan.transfers) {
+        touched[{tp.transfer.producer, tp.transfer.destCluster}]
+            .newTransfer = &tp;
+    }
+    if (definesValue(op))
+        touched[{v, cluster}]; // the definition itself occupies a reg
+
+    for (const auto &[key, delta] : touched) {
+        const auto [val, cl] = key;
+        PairChange pc;
+        pc.value = val;
+        pc.cluster = cl;
+        const ValueState &vs = values_[val];
+        auto reg_it = vs.registered.find(cl);
+        if (reg_it != vs.registered.end())
+            pc.before = reg_it->second;
+
+        std::multiset<int> events;
+        auto ev_it = vs.events.find(cl);
+        if (ev_it != vs.events.end())
+            events = ev_it->second;
+        for (const auto &[from, to] : delta.moves) {
+            auto pos = events.find(from);
+            GPSCHED_ASSERT(pos != events.end(),
+                           "event move of unknown time");
+            events.erase(pos);
+            events.insert(to);
+        }
+        for (int t : delta.adds)
+            events.insert(t);
+
+        bool home = val == v ? cl == cluster
+                             : placed_[val].cluster == cl;
+        int write = val == v ? cycle + latencyOf(v) : writeCycleOf(val);
+        int arrival = 0;
+        if (!home) {
+            if (delta.newTransfer)
+                arrival = delta.newTransfer->transfer.arrivalCycle;
+            else
+                arrival = vs.transfers.at(cl).arrivalCycle;
+        }
+        bool spilled = val != v && vs.spilled;
+        pc.after = segmentsFromState(write, events, home, arrival,
+                                     spilled, vs.spillSt, vs.spillLd);
+        plan.regCyclesDelta[cl] +=
+            totalLength(pc.after) - totalLength(pc.before);
+        plan.pairChanges.push_back(std::move(pc));
+    }
+
+    // --- 6. register feasibility per cluster ---------------------------
+    for (int c = 0; c < num_clusters; ++c) {
+        std::vector<LiveSegment> removed, added;
+        for (const auto &pc : plan.pairChanges) {
+            if (pc.cluster != c)
+                continue;
+            removed.insert(removed.end(), pc.before.begin(),
+                           pc.before.end());
+            added.insert(added.end(), pc.after.begin(), pc.after.end());
+        }
+        if (removed.empty() && added.empty())
+            continue;
+        if (!regs_[c].fitsWithDiff(removed, added))
+            return plan;
+    }
+
+    plan.feasible = true;
+    return plan;
+}
+
+PlacementPlan
+PartialSchedule::planInWindow(NodeId v, int cluster, int from,
+                              int to) const
+{
+    int step = from <= to ? 1 : -1;
+    for (int cycle = from;; cycle += step) {
+        PlacementPlan plan = planPlacement(v, cluster, cycle);
+        if (plan.feasible)
+            return plan;
+        if (cycle == to)
+            break;
+    }
+    PlacementPlan fail;
+    fail.node = v;
+    fail.cluster = cluster;
+    return fail;
+}
+
+void
+PartialSchedule::reserveTransfer(const Transfer &transfer)
+{
+    const LatencyTable &lat = machine_.latencies();
+    if (transfer.viaBus) {
+        busMrt_.reserve(transfer.busCycle, machine_.busLatency());
+        ++numBusTransfers_;
+        return;
+    }
+    int home = placed_[transfer.producer].cluster;
+    int occ_st = lat.occupancy(Opcode::CommSt);
+    int occ_ld = lat.occupancy(Opcode::CommLd);
+    fu(home, FuClass::Mem).reserve(transfer.stCycle, occ_st);
+    fu(transfer.destCluster, FuClass::Mem)
+        .reserve(transfer.ldCycle, occ_ld);
+    overheadMemOps_[home] += occ_st;
+    overheadMemOps_[transfer.destCluster] += occ_ld;
+    overheadMemTotal_ += occ_st + occ_ld;
+    ++numMemTransfers_;
+}
+
+void
+PartialSchedule::releaseTransfer(const Transfer &transfer)
+{
+    const LatencyTable &lat = machine_.latencies();
+    if (transfer.viaBus) {
+        busMrt_.release(transfer.busCycle, machine_.busLatency());
+        --numBusTransfers_;
+        return;
+    }
+    int home = placed_[transfer.producer].cluster;
+    int occ_st = lat.occupancy(Opcode::CommSt);
+    int occ_ld = lat.occupancy(Opcode::CommLd);
+    fu(home, FuClass::Mem).release(transfer.stCycle, occ_st);
+    fu(transfer.destCluster, FuClass::Mem)
+        .release(transfer.ldCycle, occ_ld);
+    overheadMemOps_[home] -= occ_st;
+    overheadMemOps_[transfer.destCluster] -= occ_ld;
+    overheadMemTotal_ -= occ_st + occ_ld;
+    --numMemTransfers_;
+}
+
+void
+PartialSchedule::apply(const PlacementPlan &plan)
+{
+    GPSCHED_ASSERT(plan.feasible, "apply of infeasible plan");
+    GPSCHED_ASSERT(!isScheduled(plan.node), "double apply");
+
+    const Opcode op = ddg_.node(plan.node).opcode;
+    fu(plan.cluster, fuClassOf(op))
+        .reserve(plan.cycle, occupancyOf(plan.node));
+    placed_[plan.node] = {true, plan.cluster, plan.cycle};
+    ++numScheduled_;
+
+    for (const auto &em : plan.eventMoves) {
+        auto &events = values_[em.value].events[em.cluster];
+        auto pos = events.find(em.oldTime);
+        GPSCHED_ASSERT(pos != events.end(), "stale event move");
+        events.erase(pos);
+        events.insert(em.newTime);
+    }
+    for (const auto &ea : plan.eventAdds)
+        values_[ea.value].events[ea.cluster].insert(ea.time);
+
+    for (const auto &tp : plan.transfers) {
+        ValueState &vs = values_[tp.transfer.producer];
+        if (tp.replaces) {
+            releaseTransfer(vs.transfers.at(tp.transfer.destCluster));
+        }
+        vs.transfers[tp.transfer.destCluster] = tp.transfer;
+        reserveTransfer(tp.transfer);
+    }
+
+    for (const auto &pc : plan.pairChanges)
+        setRegistered(pc.value, pc.cluster, pc.after);
+}
+
+FigureOfMerit
+PartialSchedule::insertionFom(const PlacementPlan &plan) const
+{
+    const int num_clusters = machine_.numClusters();
+    FigureOfMerit fom;
+    fom.addComponent(
+        consumedPct(plan.busSlotsDelta, busMrt_.freeSlots()));
+    for (int c = 0; c < num_clusters; ++c)
+        fom.addComponent(
+            consumedPct(plan.memSlotsDelta[c], memFreeSlots(c)));
+    for (int c = 0; c < num_clusters; ++c) {
+        int free = regs_[c].capacity() - regs_[c].usedRegCycles();
+        fom.addComponent(consumedPct(plan.regCyclesDelta[c], free));
+    }
+    if (plannedMemOps_.empty()) {
+        int budget = 0;
+        for (int c = 0; c < num_clusters; ++c)
+            budget += fu(c, FuClass::Mem).totalSlots();
+        budget -= origMemOpsTotal_;
+        int delta = 0;
+        for (int c = 0; c < num_clusters; ++c)
+            delta += plan.overheadMemDelta[c];
+        fom.addComponent(
+            consumedPct(delta, budget - overheadMemTotal_));
+    } else {
+        for (int c = 0; c < num_clusters; ++c) {
+            int budget = fu(c, FuClass::Mem).totalSlots() -
+                         plannedMemOps_[c];
+            fom.addComponent(consumedPct(plan.overheadMemDelta[c],
+                                         budget - overheadMemOps_[c]));
+        }
+    }
+    return fom;
+}
+
+FigureOfMerit
+PartialSchedule::globalFom() const
+{
+    const int num_clusters = machine_.numClusters();
+    FigureOfMerit fom;
+    fom.addComponent(
+        usedPct(busMrt_.usedSlots(), busMrt_.totalSlots()));
+    for (int c = 0; c < num_clusters; ++c) {
+        const auto &mem = fu(c, FuClass::Mem);
+        fom.addComponent(usedPct(mem.usedSlots(), mem.totalSlots()));
+    }
+    for (int c = 0; c < num_clusters; ++c)
+        fom.addComponent(
+            usedPct(regs_[c].maxLive(), regs_[c].numRegs()));
+    if (plannedMemOps_.empty()) {
+        int budget = 0;
+        for (int c = 0; c < num_clusters; ++c)
+            budget += fu(c, FuClass::Mem).totalSlots();
+        budget -= origMemOpsTotal_;
+        fom.addComponent(usedPct(overheadMemTotal_, budget));
+    } else {
+        for (int c = 0; c < num_clusters; ++c) {
+            int budget = fu(c, FuClass::Mem).totalSlots() -
+                         plannedMemOps_[c];
+            fom.addComponent(usedPct(overheadMemOps_[c], budget));
+        }
+    }
+    return fom;
+}
+
+void
+PartialSchedule::accumulateExtent(int issue, int finish, int &lo,
+                                  int &hi) const
+{
+    lo = std::min(lo, issue);
+    hi = std::max(hi, finish);
+}
+
+int
+PartialSchedule::scheduleLength() const
+{
+    const LatencyTable &lat = machine_.latencies();
+    int lo = INT_MAX, hi = INT_MIN;
+    for (NodeId v = 0; v < ddg_.numNodes(); ++v) {
+        if (!placed_[v].scheduled)
+            continue;
+        accumulateExtent(placed_[v].cycle,
+                         placed_[v].cycle + latencyOf(v), lo, hi);
+        const ValueState &vs = values_[v];
+        for (const auto &[dest, t] : vs.transfers) {
+            if (t.viaBus) {
+                accumulateExtent(t.busCycle, t.arrivalCycle, lo, hi);
+            } else {
+                accumulateExtent(t.stCycle,
+                                 t.stCycle +
+                                     lat.latency(Opcode::CommSt),
+                                 lo, hi);
+                accumulateExtent(t.ldCycle, t.arrivalCycle, lo, hi);
+            }
+        }
+        if (vs.spilled) {
+            accumulateExtent(vs.spillSt,
+                             vs.spillSt + lat.latency(Opcode::SpillSt),
+                             lo, hi);
+            accumulateExtent(vs.spillLd,
+                             vs.spillLd + lat.latency(Opcode::SpillLd),
+                             lo, hi);
+        }
+    }
+    return hi == INT_MIN ? 0 : hi - lo;
+}
+
+const std::map<int, Transfer> &
+PartialSchedule::transfersOf(NodeId producer) const
+{
+    return values_[producer].transfers;
+}
+
+SpillInfo
+PartialSchedule::spillOf(NodeId producer) const
+{
+    const ValueState &vs = values_[producer];
+    return {vs.spilled, vs.spillSt, vs.spillLd};
+}
+
+int
+PartialSchedule::maxLive(int cluster) const
+{
+    return regs_[cluster].maxLive();
+}
+
+ScheduleStats
+PartialSchedule::stats() const
+{
+    ScheduleStats stats;
+    stats.busTransfers = numBusTransfers_;
+    stats.memTransfers = numMemTransfers_;
+    stats.spills = numSpills_;
+    stats.overheadMemOps = 2 * numMemTransfers_ + 2 * numSpills_;
+    return stats;
+}
+
+} // namespace gpsched

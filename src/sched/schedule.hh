@@ -1,0 +1,371 @@
+/**
+ * @file
+ * Partial modulo schedule with integrated register allocation and
+ * communication management (the URACAM substrate of paper Section
+ * 3.3, shared by the URACAM baseline and the GP/Fixed schedulers).
+ *
+ * The schedule assigns operations to (cluster, flat cycle) pairs at
+ * a fixed II. Flat cycles are times within one iteration's schedule
+ * (they may be negative; kernel slots are flat cycles mod II). State
+ * tracked per placement:
+ *
+ *  - functional-unit reservation tables per (cluster, FU class),
+ *  - the non-pipelined inter-cluster bus pool,
+ *  - exact per-cluster register pressure (kernel MaxLive) via value
+ *    lifetimes, including loop-carried consumption at use + II*dist,
+ *  - one communication per (value, destination cluster): a bus copy
+ *    or a store/load pair through memory (Section 3.3.2), chosen
+ *    on demand when the bus is saturated,
+ *  - spill splits of register lifetimes (store after def, load
+ *    before the late uses).
+ *
+ * Placement is two-phase: planPlacement() is a pure feasibility
+ * check that returns a PlacementPlan describing every reservation
+ * and lifetime change the insertion would make; apply() commits a
+ * plan atomically. Figures of merit are computed from plans without
+ * mutating anything, which is how URACAM compares per-cluster
+ * alternatives cheaply. Only spill and communication ops are ever
+ * unscheduled (by the transformation engine in transforms.cc).
+ */
+
+#ifndef GPSCHED_SCHED_SCHEDULE_HH
+#define GPSCHED_SCHED_SCHEDULE_HH
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "graph/ddg.hh"
+#include "machine/machine.hh"
+#include "sched/fom.hh"
+#include "sched/lifetime.hh"
+#include "sched/mrt.hh"
+
+namespace gpsched
+{
+
+/** One inter-cluster communication of a value. */
+struct Transfer
+{
+    NodeId producer = invalidNode;
+    int destCluster = -1;
+    bool viaBus = true;
+    int busCycle = 0;      ///< viaBus: bus busy [busCycle, +LatBus-1]
+    int stCycle = 0;       ///< !viaBus: CommSt issue in home cluster
+    int ldCycle = 0;       ///< !viaBus: CommLd issue in dest cluster
+    int readCycle = 0;     ///< when the home register is read
+    int arrivalCycle = 0;  ///< when the value exists in dest
+};
+
+/** Planned creation or replacement of a transfer. */
+struct TransferPlan
+{
+    Transfer transfer;
+    bool replaces = false; ///< an existing transfer for the same key
+};
+
+/** Planned lifetime change of one (value, cluster) pair. */
+struct PairChange
+{
+    NodeId value = invalidNode;
+    int cluster = -1;
+    std::vector<LiveSegment> before; ///< currently registered
+    std::vector<LiveSegment> after;  ///< segments once applied
+};
+
+/** Planned register-read event insertion. */
+struct EventAdd
+{
+    NodeId value = invalidNode;
+    int cluster = -1;
+    int time = 0;
+};
+
+/** Planned register-read event time change (transfer re-placement). */
+struct EventMove
+{
+    NodeId value = invalidNode;
+    int cluster = -1;
+    int oldTime = 0;
+    int newTime = 0;
+};
+
+/** Atomic description of one op insertion. */
+struct PlacementPlan
+{
+    bool feasible = false;
+    NodeId node = invalidNode;
+    int cluster = -1;
+    int cycle = 0;
+    std::vector<TransferPlan> transfers;
+    std::vector<EventAdd> eventAdds;
+    std::vector<EventMove> eventMoves;
+    std::vector<PairChange> pairChanges;
+
+    // Figure-of-merit ingredients (net deltas).
+    int busSlotsDelta = 0;
+    std::vector<int> memSlotsDelta;  ///< per cluster (incl. op itself)
+    std::vector<int> overheadMemDelta; ///< per cluster (comm ops only)
+    std::vector<int> regCyclesDelta; ///< per cluster
+};
+
+/** Aggregate overhead statistics of a schedule. */
+struct ScheduleStats
+{
+    int busTransfers = 0;
+    int memTransfers = 0;
+    int spills = 0;
+    int overheadMemOps = 0;
+};
+
+/** Spill placement of one value (for introspection/code emission). */
+struct SpillInfo
+{
+    bool spilled = false;
+    int storeCycle = 0;
+    int loadCycle = 0;
+};
+
+/** Partial (growing) modulo schedule at a fixed II. */
+class PartialSchedule
+{
+  public:
+    /**
+     * @param ddg loop being scheduled (must outlive the schedule)
+     * @param machine target (must outlive the schedule)
+     * @param ii initiation interval
+     * @param planned_mem_per_cluster expected original memory ops
+     *        per cluster (from the graph partition; Section 3.3.4
+     *        extension). Empty for URACAM/unified scheduling, which
+     *        uses the global remaining-memory component instead.
+     * @param fom_threshold significant-difference threshold for
+     *        figure-of-merit comparisons (percentage points)
+     */
+    PartialSchedule(const Ddg &ddg, const MachineConfig &machine,
+                    int ii,
+                    std::vector<int> planned_mem_per_cluster = {},
+                    double fom_threshold = 10.0);
+
+    /** Initiation interval. */
+    int ii() const { return ii_; }
+
+    /** True once @p v has been placed. */
+    bool isScheduled(NodeId v) const;
+
+    /** Flat issue cycle of @p v (must be scheduled). */
+    int cycleOf(NodeId v) const;
+
+    /** Cluster of @p v (must be scheduled). */
+    int clusterOf(NodeId v) const;
+
+    /** Number of placed program operations. */
+    int numScheduled() const { return numScheduled_; }
+
+    /**
+     * Pure feasibility probe: can @p v issue at (@p cluster,
+     * @p cycle)? Returns a plan with feasible=false when not.
+     */
+    PlacementPlan planPlacement(NodeId v, int cluster,
+                                int cycle) const;
+
+    /**
+     * Scans cycles from @p from towards @p to (either direction,
+     * inclusive) and returns the first feasible plan.
+     */
+    PlacementPlan planInWindow(NodeId v, int cluster, int from,
+                               int to) const;
+
+    /** Commits a feasible plan. State must be unchanged since plan. */
+    void apply(const PlacementPlan &plan);
+
+    /**
+     * Figure of merit of inserting @p plan (Section 3.3.1 plus the
+     * remaining-memory extension): percentage of free resources the
+     * insertion consumes, one component per critical resource.
+     */
+    FigureOfMerit insertionFom(const PlacementPlan &plan) const;
+
+    /**
+     * Global utilization figure (bus, per-cluster memory slots,
+     * per-cluster MaxLive) used to steer transformations.
+     */
+    FigureOfMerit globalFom() const;
+
+    /** Comparison threshold configured at construction. */
+    double fomThreshold() const { return fomThreshold_; }
+
+    // --- transformations (Section 3.3.2; defined in transforms.cc) ---
+
+    /**
+     * Splits the lifetime of the best spill candidate in @p cluster
+     * across its widest idle gap (store after the early part, load
+     * before the late part). Returns true when applied.
+     */
+    bool trySpill(int cluster);
+
+    /** Removes one spill in @p cluster if registers allow. */
+    bool tryUnspill(int cluster);
+
+    /** Converts one bus transfer to a memory communication. */
+    bool tryBusToMem();
+
+    /** Converts one memory communication to a bus transfer. */
+    bool tryMemToBus();
+
+    /**
+     * Applies transformations while they improve the global figure
+     * of merit, starting with the most saturated resource
+     * (Section 3.3.3). Returns the number applied.
+     */
+    int runTransformations();
+
+    // --- queries -------------------------------------------------------
+
+    /**
+     * Communications of @p producer's value, keyed by destination
+     * cluster. Needed by code emission and by schedule validators.
+     */
+    const std::map<int, Transfer> &transfersOf(NodeId producer) const;
+
+    /** Spill placement of @p producer's value. */
+    SpillInfo spillOf(NodeId producer) const;
+
+    /** Flat schedule length: max finish - min issue over all ops. */
+    int scheduleLength() const;
+
+    /** Kernel MaxLive of @p cluster. */
+    int maxLive(int cluster) const;
+
+    /** Overhead statistics. */
+    ScheduleStats stats() const;
+
+    /** Free slots in the bus pool. */
+    int busFreeSlots() const { return busMrt_.freeSlots(); }
+
+    /** Free memory slots of @p cluster. */
+    int memFreeSlots(int cluster) const;
+
+    /** Underlying machine. */
+    const MachineConfig &machine() const { return machine_; }
+
+    /** Underlying graph. */
+    const Ddg &ddg() const { return ddg_; }
+
+  private:
+    friend class TransformEngine;
+
+    struct PlacedOp
+    {
+        bool scheduled = false;
+        int cluster = -1;
+        int cycle = 0;
+    };
+
+    /** Logical register state of one value (producer node). */
+    struct ValueState
+    {
+        /** Register-read events per cluster (home: local consumer
+         *  reads and transfer reads; dest: consumer reads). */
+        std::map<int, std::multiset<int>> events;
+
+        /** Communications keyed by destination cluster. */
+        std::map<int, Transfer> transfers;
+
+        bool spilled = false;
+        int spillSt = 0;
+        int spillLd = 0;
+
+        /** Segments currently registered with the trackers. */
+        std::map<int, std::vector<LiveSegment>> registered;
+    };
+
+    const Ddg &ddg_;
+    const MachineConfig &machine_;
+    int ii_;
+    double fomThreshold_;
+
+    std::vector<PlacedOp> placed_;
+    int numScheduled_ = 0;
+    std::vector<ModuloReservationTable> fuMrt_; ///< cluster-major
+    ModuloReservationTable busMrt_;
+    std::vector<LifetimeTracker> regs_;
+    std::vector<ValueState> values_;
+
+    std::vector<int> plannedMemOps_; ///< per cluster; empty = global
+    int origMemOpsTotal_ = 0;
+    std::vector<int> overheadMemOps_; ///< per cluster
+    int overheadMemTotal_ = 0;
+    int numBusTransfers_ = 0;
+    int numMemTransfers_ = 0;
+    int numSpills_ = 0;
+
+    // --- helpers -------------------------------------------------------
+
+    ModuloReservationTable &fu(int cluster, FuClass cls);
+    const ModuloReservationTable &fu(int cluster, FuClass cls) const;
+
+    int latencyOf(NodeId v) const;
+    int occupancyOf(NodeId v) const;
+    int writeCycleOf(NodeId v) const;
+
+    /** Effective latency of edge e at this II. */
+    int effLat(EdgeId e) const;
+
+    /**
+     * True when a register read of value @p p at @p time in the home
+     * cluster is compatible with an existing spill split.
+     */
+    bool homeReadTimeValid(const ValueState &vs, int time) const;
+
+    /**
+     * Lifetime segments of (value, cluster) given explicit logical
+     * state (pure; used for both current and hypothetical states).
+     */
+    std::vector<LiveSegment>
+    segmentsFromState(int write_cycle, const std::multiset<int> &events,
+                      bool home, int arrival, bool spilled,
+                      int spill_st, int spill_ld) const;
+
+    /** Current segments of (value, cluster) from logical state. */
+    std::vector<LiveSegment> currentSegments(NodeId p,
+                                             int cluster) const;
+
+    /** Re-registers (value, cluster) segments to match @p segs. */
+    void setRegistered(NodeId p, int cluster,
+                       std::vector<LiveSegment> segs);
+
+    /**
+     * Finds the first free slot for @p occupancy units in @p mrt
+     * scanning @p from towards @p to, treating @p claimed as
+     * additionally busy and @p ignore_cycle (occupancy
+     * @p ignore_occ, -1 = none) as free. Returns INT_MIN when none.
+     */
+    static int findSlot(const ModuloReservationTable &mrt, int from,
+                        int to, int occupancy,
+                        const std::vector<std::pair<int, int>> &claimed,
+                        int ignore_cycle, int ignore_occ);
+
+    /**
+     * Plans a transfer of @p producer's value to @p dest_cluster
+     * with register read >= @p ready and arrival <= @p use, reusing
+     * slot claims from @p plan (for intra-placement collisions).
+     * Returns false when impossible.
+     */
+    bool planTransfer(NodeId producer, int dest_cluster, int ready,
+                      int use, const PlacementPlan &plan,
+                      TransferPlan &out) const;
+
+    /** Releases the resources held by @p transfer. */
+    void releaseTransfer(const Transfer &transfer);
+
+    /** Reserves the resources needed by @p transfer. */
+    void reserveTransfer(const Transfer &transfer);
+
+    /** Finish cycle of an op or overhead op for scheduleLength(). */
+    void accumulateExtent(int issue, int finish, int &lo,
+                          int &hi) const;
+};
+
+} // namespace gpsched
+
+#endif // GPSCHED_SCHED_SCHEDULE_HH

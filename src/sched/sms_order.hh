@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Swing-Modulo-Scheduling node ordering (Llosa et al., PACT'96),
+ * used by every scheduler in this repository (paper Section 3.3.3).
+ *
+ * Nodes are grouped into sets: recurrence SCCs first, ordered by
+ * decreasing recurrence-limited MII (most constrained first), then
+ * the remaining nodes. Within the sweep, nodes are appended so that
+ * each one has either predecessors or successors already ordered
+ * (never both sides unordered), alternating top-down / bottom-up;
+ * this lets the scheduler place each node adjacent to its already
+ * scheduled neighbours, keeping lifetimes short.
+ *
+ * Priorities within the ready set follow the SMS spirit: top-down
+ * picks the candidate with the greatest height (most critical going
+ * forward), bottom-up the greatest depth; ties prefer lower
+ * mobility, then lower id (determinism).
+ */
+
+#ifndef GPSCHED_SCHED_SMS_ORDER_HH
+#define GPSCHED_SCHED_SMS_ORDER_HH
+
+#include <vector>
+
+#include "graph/ddg.hh"
+#include "graph/ddg_analysis.hh"
+
+namespace gpsched
+{
+
+/** Computes the SMS scheduling order of all nodes of @p ddg. */
+std::vector<NodeId> smsOrder(const Ddg &ddg,
+                             const DdgAnalysis &analysis);
+
+} // namespace gpsched
+
+#endif // GPSCHED_SCHED_SMS_ORDER_HH

@@ -1,0 +1,475 @@
+#include "sched/transforms.hh"
+
+#include <algorithm>
+#include <climits>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace gpsched
+{
+
+namespace
+{
+
+/** Valid home-register read windows of a (possibly spilled) value. */
+std::vector<std::pair<int, int>>
+validReadRanges(const PartialSchedule &ps, bool spilled, int spill_st,
+                int reload, int lo, int hi)
+{
+    (void)ps;
+    std::vector<std::pair<int, int>> ranges;
+    if (lo > hi)
+        return ranges;
+    if (!spilled) {
+        ranges.push_back({lo, hi});
+        return ranges;
+    }
+    if (lo <= std::min(hi, spill_st))
+        ranges.push_back({lo, std::min(hi, spill_st)});
+    if (std::max(lo, reload) <= hi)
+        ranges.push_back({std::max(lo, reload), hi});
+    return ranges;
+}
+
+} // namespace
+
+bool
+TransformEngine::trySpill(PartialSchedule &ps, int cluster)
+{
+    const LatencyTable &lat = ps.machine_.latencies();
+    const int lat_st = lat.latency(Opcode::SpillSt);
+    const int occ_st = lat.occupancy(Opcode::SpillSt);
+    const int lat_ld = lat.latency(Opcode::SpillLd);
+    const int occ_ld = lat.occupancy(Opcode::SpillLd);
+    ModuloReservationTable &mem = ps.fu(cluster, FuClass::Mem);
+
+    struct Candidate
+    {
+        NodeId p = invalidNode;
+        int st = 0;
+        int ld = 0;
+        int saving = 0;
+    };
+    Candidate best;
+    for (NodeId p = 0; p < ps.ddg_.numNodes(); ++p) {
+        const auto &pl = ps.placed_[p];
+        if (!pl.scheduled || pl.cluster != cluster)
+            continue;
+        if (!definesValue(ps.ddg_.node(p).opcode))
+            continue;
+        const auto &vs = ps.values_[p];
+        if (vs.spilled)
+            continue;
+        auto ev_it = vs.events.find(cluster);
+        if (ev_it == vs.events.end() || ev_it->second.empty())
+            continue;
+        std::vector<int> points{ps.writeCycleOf(p)};
+        points.insert(points.end(), ev_it->second.begin(),
+                      ev_it->second.end());
+        for (std::size_t i = 0; i + 1 < points.size(); ++i) {
+            int g0 = points[i];
+            int g1 = points[i + 1];
+            if (g1 - g0 <= lat_st + lat_ld)
+                continue;
+            int st = PartialSchedule::findSlot(
+                mem, g0, g1 - lat_ld - lat_st, occ_st, {}, INT_MIN, 0);
+            if (st == INT_MIN)
+                continue;
+            int ld = PartialSchedule::findSlot(
+                mem, g1 - lat_ld, st + lat_st, occ_ld, {{st, occ_st}},
+                INT_MIN, 0);
+            if (ld == INT_MIN)
+                continue;
+            int saving = ld + lat_ld - st - 1;
+            if (saving > best.saving)
+                best = {p, st, ld, saving};
+        }
+    }
+    if (best.p == invalidNode)
+        return false;
+
+    FigureOfMerit before = ps.globalFom();
+    auto &vs = ps.values_[best.p];
+    std::vector<LiveSegment> old_segs;
+    auto reg_it = vs.registered.find(cluster);
+    if (reg_it != vs.registered.end())
+        old_segs = reg_it->second;
+
+    vs.spilled = true;
+    vs.spillSt = best.st;
+    vs.spillLd = best.ld;
+    mem.reserve(best.st, occ_st);
+    mem.reserve(best.ld, occ_ld);
+    ps.overheadMemOps_[cluster] += occ_st + occ_ld;
+    ps.overheadMemTotal_ += occ_st + occ_ld;
+    ++ps.numSpills_;
+    ps.setRegistered(best.p, cluster,
+                     ps.currentSegments(best.p, cluster));
+
+    if (FigureOfMerit::better(ps.globalFom(), before, 0.0))
+        return true;
+
+    ps.setRegistered(best.p, cluster, old_segs);
+    mem.release(best.st, occ_st);
+    mem.release(best.ld, occ_ld);
+    ps.overheadMemOps_[cluster] -= occ_st + occ_ld;
+    ps.overheadMemTotal_ -= occ_st + occ_ld;
+    --ps.numSpills_;
+    vs.spilled = false;
+    return false;
+}
+
+bool
+TransformEngine::tryUnspill(PartialSchedule &ps, int cluster)
+{
+    const LatencyTable &lat = ps.machine_.latencies();
+    const int occ_st = lat.occupancy(Opcode::SpillSt);
+    const int occ_ld = lat.occupancy(Opcode::SpillLd);
+    ModuloReservationTable &mem = ps.fu(cluster, FuClass::Mem);
+
+    for (NodeId p = 0; p < ps.ddg_.numNodes(); ++p) {
+        const auto &pl = ps.placed_[p];
+        if (!pl.scheduled || pl.cluster != cluster)
+            continue;
+        auto &vs = ps.values_[p];
+        if (!vs.spilled)
+            continue;
+        static const std::multiset<int> no_events;
+        auto ev_it = vs.events.find(cluster);
+        const std::multiset<int> &events =
+            ev_it == vs.events.end() ? no_events : ev_it->second;
+        std::vector<LiveSegment> merged = ps.segmentsFromState(
+            ps.writeCycleOf(p), events, true, 0, false, 0, 0);
+        std::vector<LiveSegment> old_segs;
+        auto reg_it = vs.registered.find(cluster);
+        if (reg_it != vs.registered.end())
+            old_segs = reg_it->second;
+        if (!ps.regs_[cluster].fitsWithDiff(old_segs, merged))
+            continue;
+
+        FigureOfMerit before = ps.globalFom();
+        int st = vs.spillSt, ld = vs.spillLd;
+        mem.release(st, occ_st);
+        mem.release(ld, occ_ld);
+        ps.overheadMemOps_[cluster] -= occ_st + occ_ld;
+        ps.overheadMemTotal_ -= occ_st + occ_ld;
+        --ps.numSpills_;
+        vs.spilled = false;
+        ps.setRegistered(p, cluster, merged);
+
+        if (FigureOfMerit::better(ps.globalFom(), before, 0.0))
+            return true;
+
+        ps.setRegistered(p, cluster, old_segs);
+        vs.spilled = true;
+        vs.spillSt = st;
+        vs.spillLd = ld;
+        mem.reserve(st, occ_st);
+        mem.reserve(ld, occ_ld);
+        ps.overheadMemOps_[cluster] += occ_st + occ_ld;
+        ps.overheadMemTotal_ += occ_st + occ_ld;
+        ++ps.numSpills_;
+    }
+    return false;
+}
+
+bool
+TransformEngine::tryBusToMem(PartialSchedule &ps)
+{
+    const LatencyTable &lat = ps.machine_.latencies();
+    const int lat_st = lat.latency(Opcode::CommSt);
+    const int occ_st = lat.occupancy(Opcode::CommSt);
+    const int lat_ld = lat.latency(Opcode::CommLd);
+    const int occ_ld = lat.occupancy(Opcode::CommLd);
+
+    for (NodeId p = 0; p < ps.ddg_.numNodes(); ++p) {
+        if (!ps.placed_[p].scheduled)
+            continue;
+        auto &vs = ps.values_[p];
+        const int home = ps.placed_[p].cluster;
+        for (auto &[dest, t] : vs.transfers) {
+            if (!t.viaBus)
+                continue;
+            auto dev_it = vs.events.find(dest);
+            if (dev_it == vs.events.end() || dev_it->second.empty())
+                continue;
+            int min_use = *dev_it->second.begin();
+            int write = ps.writeCycleOf(p);
+            int reload = vs.spillLd + lat.latency(Opcode::SpillLd);
+
+            int st = INT_MIN, ld = INT_MIN;
+            for (const auto &[lo, hi] :
+                 validReadRanges(ps, vs.spilled, vs.spillSt, reload,
+                                 write, min_use - lat_ld - lat_st)) {
+                int cand_st = lo;
+                while (cand_st <= hi) {
+                    cand_st = PartialSchedule::findSlot(
+                        ps.fu(home, FuClass::Mem), cand_st, hi, occ_st,
+                        {}, INT_MIN, 0);
+                    if (cand_st == INT_MIN)
+                        break;
+                    int cand_ld = PartialSchedule::findSlot(
+                        ps.fu(dest, FuClass::Mem), min_use - lat_ld,
+                        cand_st + lat_st, occ_ld, {}, INT_MIN, 0);
+                    if (cand_ld != INT_MIN) {
+                        st = cand_st;
+                        ld = cand_ld;
+                        break;
+                    }
+                    ++cand_st;
+                }
+                if (st != INT_MIN)
+                    break;
+            }
+            if (st == INT_MIN)
+                continue;
+
+            // Register feasibility with the moved read and arrival.
+            std::multiset<int> home_ev = vs.events[home];
+            auto pos = home_ev.find(t.readCycle);
+            GPSCHED_ASSERT(pos != home_ev.end(),
+                           "transfer read missing from home events");
+            home_ev.erase(pos);
+            home_ev.insert(st);
+            std::vector<LiveSegment> home_after =
+                ps.segmentsFromState(write, home_ev, true, 0,
+                                     vs.spilled, vs.spillSt,
+                                     vs.spillLd);
+            std::vector<LiveSegment> dest_after = ps.segmentsFromState(
+                write, dev_it->second, false, ld + lat_ld, false, 0, 0);
+            std::vector<LiveSegment> home_before =
+                vs.registered.count(home) ? vs.registered[home]
+                                          : std::vector<LiveSegment>{};
+            std::vector<LiveSegment> dest_before =
+                vs.registered.count(dest) ? vs.registered[dest]
+                                          : std::vector<LiveSegment>{};
+            if (home == dest) {
+                GPSCHED_PANIC("transfer with home == dest");
+            }
+            if (!ps.regs_[home].fitsWithDiff(home_before, home_after))
+                continue;
+            if (!ps.regs_[dest].fitsWithDiff(dest_before, dest_after))
+                continue;
+
+            FigureOfMerit before = ps.globalFom();
+            Transfer old = t;
+            ps.releaseTransfer(old);
+            Transfer repl{p, dest, false, 0, st, ld, st, ld + lat_ld};
+            t = repl;
+            ps.reserveTransfer(repl);
+            auto &events = vs.events[home];
+            auto epos = events.find(old.readCycle);
+            GPSCHED_ASSERT(epos != events.end(), "stale read event");
+            events.erase(epos);
+            events.insert(st);
+            ps.setRegistered(p, home, home_after);
+            ps.setRegistered(p, dest, dest_after);
+
+            if (FigureOfMerit::better(ps.globalFom(), before, 0.0))
+                return true;
+
+            ps.setRegistered(p, home, home_before);
+            ps.setRegistered(p, dest, dest_before);
+            auto rpos = vs.events[home].find(st);
+            vs.events[home].erase(rpos);
+            vs.events[home].insert(old.readCycle);
+            ps.releaseTransfer(repl);
+            t = old;
+            ps.reserveTransfer(old);
+        }
+    }
+    return false;
+}
+
+bool
+TransformEngine::tryMemToBus(PartialSchedule &ps)
+{
+    if (ps.machine_.numBuses() == 0)
+        return false;
+    const LatencyTable &lat = ps.machine_.latencies();
+    const int lat_bus = ps.machine_.busLatency();
+
+    for (NodeId p = 0; p < ps.ddg_.numNodes(); ++p) {
+        if (!ps.placed_[p].scheduled)
+            continue;
+        auto &vs = ps.values_[p];
+        const int home = ps.placed_[p].cluster;
+        for (auto &[dest, t] : vs.transfers) {
+            if (t.viaBus)
+                continue;
+            auto dev_it = vs.events.find(dest);
+            if (dev_it == vs.events.end() || dev_it->second.empty())
+                continue;
+            int min_use = *dev_it->second.begin();
+            int write = ps.writeCycleOf(p);
+            int reload = vs.spillLd + lat.latency(Opcode::SpillLd);
+
+            int bus_cycle = INT_MIN;
+            for (const auto &[lo, hi] :
+                 validReadRanges(ps, vs.spilled, vs.spillSt, reload,
+                                 write, min_use - lat_bus)) {
+                bus_cycle = PartialSchedule::findSlot(
+                    ps.busMrt_, lo, hi, lat_bus, {}, INT_MIN, 0);
+                if (bus_cycle != INT_MIN)
+                    break;
+            }
+            if (bus_cycle == INT_MIN)
+                continue;
+
+            std::multiset<int> home_ev = vs.events[home];
+            auto pos = home_ev.find(t.readCycle);
+            GPSCHED_ASSERT(pos != home_ev.end(),
+                           "transfer read missing from home events");
+            home_ev.erase(pos);
+            home_ev.insert(bus_cycle);
+            std::vector<LiveSegment> home_after =
+                ps.segmentsFromState(write, home_ev, true, 0,
+                                     vs.spilled, vs.spillSt,
+                                     vs.spillLd);
+            std::vector<LiveSegment> dest_after = ps.segmentsFromState(
+                write, dev_it->second, false, bus_cycle + lat_bus,
+                false, 0, 0);
+            std::vector<LiveSegment> home_before =
+                vs.registered.count(home) ? vs.registered[home]
+                                          : std::vector<LiveSegment>{};
+            std::vector<LiveSegment> dest_before =
+                vs.registered.count(dest) ? vs.registered[dest]
+                                          : std::vector<LiveSegment>{};
+            if (!ps.regs_[home].fitsWithDiff(home_before, home_after))
+                continue;
+            if (!ps.regs_[dest].fitsWithDiff(dest_before, dest_after))
+                continue;
+
+            FigureOfMerit before = ps.globalFom();
+            Transfer old = t;
+            ps.releaseTransfer(old);
+            Transfer repl{p, dest, true, bus_cycle, 0, 0, bus_cycle,
+                          bus_cycle + lat_bus};
+            t = repl;
+            ps.reserveTransfer(repl);
+            auto &events = vs.events[home];
+            auto epos = events.find(old.readCycle);
+            GPSCHED_ASSERT(epos != events.end(), "stale read event");
+            events.erase(epos);
+            events.insert(bus_cycle);
+            ps.setRegistered(p, home, home_after);
+            ps.setRegistered(p, dest, dest_after);
+
+            if (FigureOfMerit::better(ps.globalFom(), before, 0.0))
+                return true;
+
+            ps.setRegistered(p, home, home_before);
+            ps.setRegistered(p, dest, dest_before);
+            auto rpos = vs.events[home].find(bus_cycle);
+            vs.events[home].erase(rpos);
+            vs.events[home].insert(old.readCycle);
+            ps.releaseTransfer(repl);
+            t = old;
+            ps.reserveTransfer(old);
+        }
+    }
+    return false;
+}
+
+int
+TransformEngine::run(PartialSchedule &ps)
+{
+    const int num_clusters = ps.machine_.numClusters();
+    int applied = 0;
+    for (int round = 0; round < 32; ++round) {
+        // Rank candidate transformations by the utilization of the
+        // resource they relieve, most saturated first.
+        struct Action
+        {
+            double saturation = 0.0;
+            int kind = 0; // 0 spill, 1 bus->mem, 2 mem->bus, 3 unspill
+            int cluster = 0;
+        };
+        std::vector<Action> actions;
+        for (int c = 0; c < num_clusters; ++c) {
+            double reg_sat = ps.regs_[c].numRegs() > 0
+                                 ? 100.0 * ps.regs_[c].maxLive() /
+                                       ps.regs_[c].numRegs()
+                                 : 0.0;
+            actions.push_back({reg_sat, 0, c});
+        }
+        if (ps.busMrt_.totalSlots() > 0) {
+            double bus_sat = 100.0 * ps.busMrt_.usedSlots() /
+                             ps.busMrt_.totalSlots();
+            actions.push_back({bus_sat, 1, 0});
+        }
+        for (int c = 0; c < num_clusters; ++c) {
+            const auto &mem = ps.fu(c, FuClass::Mem);
+            double mem_sat =
+                100.0 * mem.usedSlots() / mem.totalSlots();
+            actions.push_back({mem_sat, 2, c});
+            actions.push_back({mem_sat, 3, c});
+        }
+        std::stable_sort(actions.begin(), actions.end(),
+                         [](const Action &a, const Action &b) {
+                             return a.saturation > b.saturation;
+                         });
+
+        bool any = false;
+        for (const Action &a : actions) {
+            bool ok = false;
+            switch (a.kind) {
+              case 0:
+                ok = trySpill(ps, a.cluster);
+                break;
+              case 1:
+                ok = tryBusToMem(ps);
+                break;
+              case 2:
+                ok = tryMemToBus(ps);
+                break;
+              case 3:
+                ok = tryUnspill(ps, a.cluster);
+                break;
+            }
+            if (ok) {
+                ++applied;
+                any = true;
+                break;
+            }
+        }
+        if (!any)
+            break;
+    }
+    return applied;
+}
+
+// --- PartialSchedule forwarding ---------------------------------------
+
+bool
+PartialSchedule::trySpill(int cluster)
+{
+    return TransformEngine::trySpill(*this, cluster);
+}
+
+bool
+PartialSchedule::tryUnspill(int cluster)
+{
+    return TransformEngine::tryUnspill(*this, cluster);
+}
+
+bool
+PartialSchedule::tryBusToMem()
+{
+    return TransformEngine::tryBusToMem(*this);
+}
+
+bool
+PartialSchedule::tryMemToBus()
+{
+    return TransformEngine::tryMemToBus(*this);
+}
+
+int
+PartialSchedule::runTransformations()
+{
+    return TransformEngine::run(*this);
+}
+
+} // namespace gpsched

@@ -1,0 +1,158 @@
+#include "sched/uracam.hh"
+
+#include <climits>
+#include <vector>
+
+#include "sched/sms_order.hh"
+#include "support/logging.hh"
+
+namespace gpsched
+{
+
+ModuloScheduler::ModuloScheduler(const Ddg &ddg,
+                                 const MachineConfig &machine,
+                                 ModuloSchedulerOptions options)
+    : ddg_(ddg), machine_(machine), options_(options)
+{
+}
+
+bool
+ModuloScheduler::placeNode(PartialSchedule &ps, NodeId v,
+                           ClusterPolicy policy,
+                           const Partition *assignment,
+                           const DdgAnalysis &analysis) const
+{
+    const int ii = ps.ii();
+    const LatencyTable &lat = machine_.latencies();
+
+    // Scheduling window from the already-placed neighbours (SMS: a
+    // node never has both sides unordered, but recurrences may bound
+    // it on both sides).
+    bool any_pred = false, any_succ = false;
+    int early = INT_MIN, late = INT_MAX;
+    for (EdgeId eid : ddg_.inEdges(v)) {
+        const DdgEdge &e = ddg_.edge(eid);
+        if (e.src == v || !ps.isScheduled(e.src))
+            continue;
+        int eff = e.latency - ii * e.distance;
+        early = std::max(early, ps.cycleOf(e.src) + eff);
+        any_pred = true;
+    }
+    for (EdgeId eid : ddg_.outEdges(v)) {
+        const DdgEdge &e = ddg_.edge(eid);
+        if (e.dst == v || !ps.isScheduled(e.dst))
+            continue;
+        int eff = e.latency - ii * e.distance;
+        late = std::min(late, ps.cycleOf(e.dst) - eff);
+        any_succ = true;
+    }
+
+    // Communications may delay a node past the pure-latency bound, so
+    // widen one-sided windows by the worst-case transfer delay.
+    const int extra = machine_.numClusters() > 1
+                          ? machine_.busLatency() +
+                                lat.latency(Opcode::CommSt) +
+                                lat.latency(Opcode::CommLd)
+                          : 0;
+    const int span = ii + extra;
+    int from, to;
+    if (!any_pred && !any_succ) {
+        from = analysis.asap(v);
+        to = from + ii - 1;
+    } else if (any_pred && !any_succ) {
+        from = early;
+        to = early + span - 1;
+    } else if (!any_pred && any_succ) {
+        from = late;
+        to = late - span + 1; // scan downwards
+    } else {
+        if (early > late)
+            return false;
+        from = early;
+        to = std::min(late, early + span - 1);
+    }
+
+    // Candidate clusters in policy order.
+    std::vector<int> clusters;
+    int assigned = -1;
+    if (policy != ClusterPolicy::FreeChoice) {
+        GPSCHED_ASSERT(assignment != nullptr,
+                       "partition required for this cluster policy");
+        assigned = assignment->clusterOf(v);
+    }
+    switch (policy) {
+      case ClusterPolicy::AssignedOnly:
+        clusters.push_back(assigned);
+        break;
+      case ClusterPolicy::PreferAssigned: {
+        PlacementPlan plan = ps.planInWindow(v, assigned, from, to);
+        if (plan.feasible) {
+            ps.apply(plan);
+            return true;
+        }
+        for (int c = 0; c < machine_.numClusters(); ++c) {
+            if (c != assigned)
+                clusters.push_back(c);
+        }
+        break;
+      }
+      case ClusterPolicy::FreeChoice:
+        for (int c = 0; c < machine_.numClusters(); ++c)
+            clusters.push_back(c);
+        break;
+    }
+
+    // One alternative partial schedule per cluster with resources;
+    // the figure of merit picks the winner (Section 3.3.3).
+    bool have_best = false;
+    PlacementPlan best;
+    FigureOfMerit best_fom;
+    for (int c : clusters) {
+        PlacementPlan plan = ps.planInWindow(v, c, from, to);
+        if (!plan.feasible)
+            continue;
+        FigureOfMerit fom = ps.insertionFom(plan);
+        if (!have_best ||
+            FigureOfMerit::better(fom, best_fom, ps.fomThreshold())) {
+            best = std::move(plan);
+            best_fom = std::move(fom);
+            have_best = true;
+        }
+    }
+    if (!have_best)
+        return false;
+    ps.apply(best);
+    return true;
+}
+
+bool
+ModuloScheduler::schedule(PartialSchedule &ps, ClusterPolicy policy,
+                          const Partition *assignment) const
+{
+    GPSCHED_ASSERT(ps.numScheduled() == 0,
+                   "schedule into a non-empty partial schedule");
+    DdgAnalysis analysis(ddg_, machine_.latencies(), ps.ii());
+    if (!analysis.feasible())
+        return false;
+
+    std::vector<NodeId> order = smsOrder(ddg_, analysis);
+    for (NodeId v : order) {
+        if (placeNode(ps, v, policy, assignment, analysis)) {
+            // Section 3.3.3: after a placement the transformations
+            // are tried, most saturated resource first. They bail
+            // out immediately unless some resource is near critical,
+            // so the gate only skips provably fruitless scans.
+            if (ps.globalFom().maxComponent() >= 85.0)
+                ps.runTransformations();
+            continue;
+        }
+        // Shift pressure between resource types and retry once.
+        if (ps.runTransformations() == 0)
+            return false;
+        if (!placeNode(ps, v, policy, assignment, analysis))
+            return false;
+    }
+    return true;
+}
+
+} // namespace gpsched

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The integrated modulo scheduler (paper Section 3.3; Codina et
+ * al.'s URACAM framework).
+ *
+ * One engine serves every evaluated scheme; they differ only in the
+ * cluster policy used when a node is placed:
+ *
+ *  - FreeChoice      every cluster is a candidate and the figure of
+ *                    merit picks the winner. This is the URACAM
+ *                    baseline (and the unified machine, trivially).
+ *  - PreferAssigned  the GP scheme: the cluster chosen by the graph
+ *                    partition is tried first and kept whenever
+ *                    feasible; other clusters are considered only
+ *                    when the assigned one fails (Figure 1, (b)).
+ *  - AssignedOnly    the Fixed Partition variant: a node may only go
+ *                    to its assigned cluster (Figure 1, (a)).
+ *
+ * Nodes are visited in SMS order. When a node fits in no allowed
+ * cluster the Section-3.3.2 transformations are run to shift
+ * pressure between resources and the node is retried once; if it
+ * still fails the attempt is abandoned and the driver increases the
+ * initiation interval.
+ */
+
+#ifndef GPSCHED_SCHED_URACAM_HH
+#define GPSCHED_SCHED_URACAM_HH
+
+#include "graph/ddg.hh"
+#include "graph/ddg_analysis.hh"
+#include "machine/machine.hh"
+#include "partition/partition.hh"
+#include "sched/schedule.hh"
+
+namespace gpsched
+{
+
+/** Cluster-selection policy of one scheduling attempt. */
+enum class ClusterPolicy
+{
+    FreeChoice,     ///< URACAM: figure of merit picks the cluster
+    PreferAssigned, ///< GP: partition first, deviate on failure
+    AssignedOnly,   ///< Fixed Partition: never deviate
+};
+
+/** Tuning knobs of the modulo scheduler. */
+struct ModuloSchedulerOptions
+{
+    /** Significant-difference threshold for figure-of-merit
+     *  comparisons (percentage points). */
+    double fomThreshold = 10.0;
+};
+
+/** Integrated modulo scheduler over a PartialSchedule. */
+class ModuloScheduler
+{
+  public:
+    /** References must outlive the scheduler. */
+    ModuloScheduler(const Ddg &ddg, const MachineConfig &machine,
+                    ModuloSchedulerOptions options = {});
+
+    /**
+     * Attempts a complete schedule into the fresh schedule @p ps
+     * (constructed for the same DDG/machine and the candidate II).
+     *
+     * @param policy cluster-selection policy
+     * @param assignment node-to-cluster map; required for
+     *        PreferAssigned/AssignedOnly, ignored for FreeChoice
+     * @return true when every node was placed
+     */
+    bool schedule(PartialSchedule &ps, ClusterPolicy policy,
+                  const Partition *assignment) const;
+
+  private:
+    const Ddg &ddg_;
+    const MachineConfig &machine_;
+    ModuloSchedulerOptions options_;
+
+    /** Places one node; returns false when no cluster accepts it. */
+    bool placeNode(PartialSchedule &ps, NodeId v, ClusterPolicy policy,
+                   const Partition *assignment,
+                   const DdgAnalysis &analysis) const;
+};
+
+} // namespace gpsched
+
+#endif // GPSCHED_SCHED_URACAM_HH

@@ -1,0 +1,97 @@
+#include "support/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace gpsched
+{
+
+void
+RunningStat::add(double x)
+{
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    sum_ += x;
+    sumSq_ += x * x;
+}
+
+double
+RunningStat::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double
+RunningStat::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    double n = static_cast<double>(count_);
+    double m = sum_ / n;
+    return std::max(0.0, sumSq_ / n - m * m);
+}
+
+double
+RunningStat::min() const
+{
+    return count_ ? min_ : 0.0;
+}
+
+double
+RunningStat::max() const
+{
+    return count_ ? max_ : 0.0;
+}
+
+double
+arithmeticMean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+geometricMean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double logSum = 0.0;
+    for (double x : xs) {
+        GPSCHED_ASSERT(x > 0.0, "geometricMean needs positive samples");
+        logSum += std::log(x);
+    }
+    return std::exp(logSum / static_cast<double>(xs.size()));
+}
+
+double
+harmonicMean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double invSum = 0.0;
+    for (double x : xs) {
+        GPSCHED_ASSERT(x > 0.0, "harmonicMean needs positive samples");
+        invSum += 1.0 / x;
+    }
+    return static_cast<double>(xs.size()) / invSum;
+}
+
+double
+speedupPercent(double x, double baseline)
+{
+    GPSCHED_ASSERT(baseline > 0.0, "speedupPercent needs baseline > 0");
+    return (x / baseline - 1.0) * 100.0;
+}
+
+} // namespace gpsched

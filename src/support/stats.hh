@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Small summary-statistics helpers used by the benches and metrics
+ * aggregation (arithmetic/geometric/harmonic means, running stats).
+ */
+
+#ifndef GPSCHED_SUPPORT_STATS_HH
+#define GPSCHED_SUPPORT_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace gpsched
+{
+
+/** Streaming accumulator for count/mean/min/max/variance. */
+class RunningStat
+{
+  public:
+    /** Adds one sample. */
+    void add(double x);
+
+    /** Number of samples added. */
+    std::size_t count() const { return count_; }
+
+    /** Arithmetic mean (0 when empty). */
+    double mean() const;
+
+    /** Population variance (0 when fewer than 2 samples). */
+    double variance() const;
+
+    /** Smallest sample (0 when empty). */
+    double min() const;
+
+    /** Largest sample (0 when empty). */
+    double max() const;
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+  private:
+    std::size_t count_ = 0;
+    double sum_ = 0.0;
+    double sumSq_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Arithmetic mean of @p xs; 0 for empty input. */
+double arithmeticMean(const std::vector<double> &xs);
+
+/** Geometric mean of positive @p xs; 0 for empty input. */
+double geometricMean(const std::vector<double> &xs);
+
+/** Harmonic mean of positive @p xs; 0 for empty input. */
+double harmonicMean(const std::vector<double> &xs);
+
+/** Relative speedup of @p x over @p baseline in percent. */
+double speedupPercent(double x, double baseline);
+
+} // namespace gpsched
+
+#endif // GPSCHED_SUPPORT_STATS_HH

@@ -1,0 +1,82 @@
+#include "support/table.hh"
+
+#include <iomanip>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace gpsched
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    GPSCHED_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    GPSCHED_ASSERT(cells.size() == headers_.size(),
+                   "row arity ", cells.size(), " != header arity ",
+                   headers_.size());
+    rows_.push_back(Row{std::move(cells), false});
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.push_back(Row{{}, true});
+}
+
+std::string
+TextTable::num(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value;
+    return oss.str();
+}
+
+void
+TextTable::print(std::ostream &os, const std::string &title) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        if (row.separator)
+            continue;
+        for (std::size_t c = 0; c < row.cells.size(); ++c)
+            widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+
+    auto print_line = [&](char fill) {
+        os << '+';
+        for (std::size_t w : widths)
+            os << std::string(w + 2, fill) << '+';
+        os << '\n';
+    };
+    auto print_cells = [&](const std::vector<std::string> &cells) {
+        os << '|';
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << ' ' << std::left << std::setw(static_cast<int>(widths[c]))
+               << cells[c] << " |";
+        }
+        os << '\n';
+    };
+
+    if (!title.empty())
+        os << title << '\n';
+    print_line('-');
+    print_cells(headers_);
+    print_line('=');
+    for (const auto &row : rows_) {
+        if (row.separator)
+            print_line('-');
+        else
+            print_cells(row.cells);
+    }
+    print_line('-');
+}
+
+} // namespace gpsched

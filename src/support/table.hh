@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Plain-text table rendering for the benchmark harnesses. Each bench
+ * binary prints the rows/series of the paper table or figure it
+ * regenerates; TextTable keeps that output aligned and consistent.
+ */
+
+#ifndef GPSCHED_SUPPORT_TABLE_HH
+#define GPSCHED_SUPPORT_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gpsched
+{
+
+/** Column-aligned text table with optional title and separator rows. */
+class TextTable
+{
+  public:
+    /** Creates a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Appends a data row; must match the header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Appends a horizontal separator row. */
+    void addSeparator();
+
+    /** Formats a double with @p precision decimals. */
+    static std::string num(double value, int precision = 2);
+
+    /** Renders the table to @p os. */
+    void print(std::ostream &os, const std::string &title = "") const;
+
+  private:
+    struct Row
+    {
+        std::vector<std::string> cells;
+        bool separator = false;
+    };
+
+    std::vector<std::string> headers_;
+    std::vector<Row> rows_;
+};
+
+} // namespace gpsched
+
+#endif // GPSCHED_SUPPORT_TABLE_HH

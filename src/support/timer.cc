@@ -1,0 +1,29 @@
+#include "support/timer.hh"
+
+#include <ctime>
+
+namespace gpsched
+{
+
+double
+CpuTimer::nowSeconds()
+{
+    timespec ts{};
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+void
+CpuTimer::start()
+{
+    startSeconds_ = nowSeconds();
+}
+
+double
+CpuTimer::elapsedSeconds() const
+{
+    return nowSeconds() - startSeconds_;
+}
+
+} // namespace gpsched

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * CPU-time measurement for the Table-2 experiment (average scheduling
+ * time per algorithm). Uses the per-process CPU clock so measurements
+ * exclude time the process spends descheduled.
+ */
+
+#ifndef GPSCHED_SUPPORT_TIMER_HH
+#define GPSCHED_SUPPORT_TIMER_HH
+
+namespace gpsched
+{
+
+/** Measures elapsed per-process CPU time in seconds. */
+class CpuTimer
+{
+  public:
+    /** Starts (or restarts) the timer. */
+    void start();
+
+    /** Returns CPU seconds elapsed since start(). */
+    double elapsedSeconds() const;
+
+  private:
+    double startSeconds_ = 0.0;
+
+    static double nowSeconds();
+};
+
+} // namespace gpsched
+
+#endif // GPSCHED_SUPPORT_TIMER_HH

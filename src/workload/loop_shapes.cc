@@ -1,0 +1,339 @@
+#include "workload/loop_shapes.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/ddg_builder.hh"
+#include "support/logging.hh"
+
+namespace gpsched
+{
+
+namespace
+{
+
+/** Adds the canonical induction variable: i = i + 1 (carried). */
+NodeId
+addInduction(DdgBuilder &b)
+{
+    NodeId iv = b.op(Opcode::IAlu, "iv");
+    b.carried(iv, iv, 1);
+    return iv;
+}
+
+/** Balanced FAdd reduction tree over @p leaves; returns the root. */
+NodeId
+addReduceTree(DdgBuilder &b, std::vector<NodeId> leaves)
+{
+    GPSCHED_ASSERT(!leaves.empty(), "empty reduction");
+    while (leaves.size() > 1) {
+        std::vector<NodeId> next;
+        for (std::size_t i = 0; i + 1 < leaves.size(); i += 2) {
+            NodeId sum = b.op(Opcode::FAdd, "radd");
+            b.flow(leaves[i], sum);
+            b.flow(leaves[i + 1], sum);
+            next.push_back(sum);
+        }
+        if (leaves.size() % 2 == 1)
+            next.push_back(leaves.back());
+        leaves = std::move(next);
+    }
+    return leaves[0];
+}
+
+} // namespace
+
+Ddg
+streamKernel(const std::string &name, const LatencyTable &lat,
+             int streams, int chain_len, std::int64_t trip)
+{
+    GPSCHED_ASSERT(streams >= 1 && chain_len >= 1,
+                   "bad stream kernel shape");
+    DdgBuilder b(name, lat);
+    NodeId iv = addInduction(b);
+    for (int s = 0; s < streams; ++s) {
+        NodeId addr = b.op(Opcode::IAlu, "addr");
+        b.flow(iv, addr);
+        NodeId ld = b.op(Opcode::Load, "ld");
+        b.flow(addr, ld);
+        NodeId cur = ld;
+        for (int k = 0; k < chain_len; ++k) {
+            NodeId fp =
+                b.op(k % 2 == 0 ? Opcode::FMul : Opcode::FAdd, "fp");
+            b.flow(cur, fp);
+            cur = fp;
+        }
+        NodeId st = b.op(Opcode::Store, "st");
+        b.flow(cur, st);
+        b.flow(addr, st);
+    }
+    return b.tripCount(trip).build();
+}
+
+Ddg
+stencilKernel(const std::string &name, const LatencyTable &lat,
+              int taps, std::int64_t trip)
+{
+    GPSCHED_ASSERT(taps >= 2, "stencil needs >= 2 taps");
+    DdgBuilder b(name, lat);
+    NodeId iv = addInduction(b);
+    std::vector<NodeId> terms;
+    for (int t = 0; t < taps; ++t) {
+        NodeId addr = b.op(Opcode::IAlu, "addr");
+        b.flow(iv, addr);
+        NodeId ld = b.op(Opcode::Load, "ld");
+        b.flow(addr, ld);
+        NodeId mul = b.op(Opcode::FMul, "coef");
+        b.flow(ld, mul);
+        terms.push_back(mul);
+    }
+    NodeId sum = addReduceTree(b, terms);
+    NodeId st = b.op(Opcode::Store, "st");
+    b.flow(sum, st);
+    b.flow(iv, st);
+    return b.tripCount(trip).build();
+}
+
+Ddg
+reductionKernel(const std::string &name, const LatencyTable &lat,
+                int width, std::int64_t trip)
+{
+    GPSCHED_ASSERT(width >= 1, "bad reduction width");
+    DdgBuilder b(name, lat);
+    NodeId iv = addInduction(b);
+    std::vector<NodeId> terms;
+    for (int w = 0; w < width; ++w) {
+        NodeId addr = b.op(Opcode::IAlu, "addr");
+        b.flow(iv, addr);
+        NodeId ld = b.op(Opcode::Load, "ld");
+        b.flow(addr, ld);
+        NodeId mul = b.op(Opcode::FMul, "mul");
+        b.flow(ld, mul);
+        terms.push_back(mul);
+    }
+    NodeId partial = addReduceTree(b, terms);
+    NodeId acc = b.op(Opcode::FAdd, "acc");
+    b.flow(partial, acc);
+    b.carried(acc, acc, 1);
+    return b.tripCount(trip).build();
+}
+
+Ddg
+recurrenceKernel(const std::string &name, const LatencyTable &lat,
+                 int extra_ops, std::int64_t trip)
+{
+    GPSCHED_ASSERT(extra_ops >= 0, "bad extra op count");
+    DdgBuilder b(name, lat);
+    NodeId iv = addInduction(b);
+    // x = a * x + b at distance 1.
+    NodeId mul = b.op(Opcode::FMul, "ax");
+    NodeId add = b.op(Opcode::FAdd, "x");
+    b.flow(mul, add);
+    b.carried(add, mul, 1);
+    NodeId st = b.op(Opcode::Store, "st_x");
+    b.flow(add, st);
+    b.flow(iv, st);
+    // Independent parallel work so the recurrence does not starve
+    // the machine.
+    NodeId prev = invalidNode;
+    for (int k = 0; k < extra_ops; ++k) {
+        if (k % 4 == 0) {
+            NodeId addr = b.op(Opcode::IAlu, "addr");
+            b.flow(iv, addr);
+            NodeId ld = b.op(Opcode::Load, "ld");
+            b.flow(addr, ld);
+            prev = ld;
+        } else {
+            NodeId fp =
+                b.op(k % 2 == 0 ? Opcode::FAdd : Opcode::FMul, "w");
+            if (prev != invalidNode)
+                b.flow(prev, fp);
+            prev = fp;
+        }
+    }
+    return b.tripCount(trip).build();
+}
+
+Ddg
+wideBlockKernel(const std::string &name, const LatencyTable &lat,
+                int chains, int chain_len, std::int64_t trip)
+{
+    GPSCHED_ASSERT(chains >= 1 && chain_len >= 1,
+                   "bad wide block shape");
+    DdgBuilder b(name, lat);
+    NodeId iv = addInduction(b);
+    // A few shared loads feed every chain: their values stay live
+    // until the last chain reads them (register pressure).
+    const int shared = std::max(2, chains / 4);
+    std::vector<NodeId> inputs;
+    for (int s = 0; s < shared; ++s) {
+        NodeId addr = b.op(Opcode::IAlu, "addr");
+        b.flow(iv, addr);
+        NodeId ld = b.op(Opcode::Load, "ld");
+        b.flow(addr, ld);
+        inputs.push_back(ld);
+    }
+    std::vector<NodeId> results;
+    for (int c = 0; c < chains; ++c) {
+        NodeId cur = inputs[c % shared];
+        for (int k = 0; k < chain_len; ++k) {
+            NodeId fp =
+                b.op(k % 2 == 0 ? Opcode::FMul : Opcode::FAdd, "fp");
+            b.flow(cur, fp);
+            if (k == 0)
+                b.flow(inputs[(c + 1) % shared], fp);
+            cur = fp;
+        }
+        results.push_back(cur);
+    }
+    // Converge pairs of chains into stores.
+    for (std::size_t i = 0; i < results.size(); i += 2) {
+        NodeId val = results[i];
+        if (i + 1 < results.size()) {
+            NodeId mix = b.op(Opcode::FAdd, "mix");
+            b.flow(results[i], mix);
+            b.flow(results[i + 1], mix);
+            val = mix;
+        }
+        NodeId st = b.op(Opcode::Store, "st");
+        b.flow(val, st);
+    }
+    return b.tripCount(trip).build();
+}
+
+Ddg
+dotProductKernel(const std::string &name, const LatencyTable &lat,
+                 int unroll, std::int64_t trip)
+{
+    GPSCHED_ASSERT(unroll >= 1, "bad unroll");
+    DdgBuilder b(name, lat);
+    NodeId iv = addInduction(b);
+    for (int u = 0; u < unroll; ++u) {
+        NodeId a = b.op(Opcode::Load, "lda");
+        NodeId x = b.op(Opcode::Load, "ldx");
+        b.flow(iv, a);
+        b.flow(iv, x);
+        NodeId mul = b.op(Opcode::FMul, "mul");
+        b.flow(a, mul);
+        b.flow(x, mul);
+        NodeId acc = b.op(Opcode::FAdd, "acc");
+        b.flow(mul, acc);
+        b.carried(acc, acc, 1);
+    }
+    return b.tripCount(trip).build();
+}
+
+Ddg
+daxpyKernel(const std::string &name, const LatencyTable &lat,
+            int unroll, std::int64_t trip)
+{
+    GPSCHED_ASSERT(unroll >= 1, "bad unroll");
+    DdgBuilder b(name, lat);
+    NodeId iv = addInduction(b);
+    for (int u = 0; u < unroll; ++u) {
+        NodeId x = b.op(Opcode::Load, "ldx");
+        NodeId y = b.op(Opcode::Load, "ldy");
+        b.flow(iv, x);
+        b.flow(iv, y);
+        NodeId ax = b.op(Opcode::FMul, "ax");
+        b.flow(x, ax);
+        NodeId sum = b.op(Opcode::FAdd, "sum");
+        b.flow(ax, sum);
+        b.flow(y, sum);
+        NodeId st = b.op(Opcode::Store, "sty");
+        b.flow(sum, st);
+        b.flow(iv, st);
+        // y is re-read next iteration after this store retires.
+        b.order(st, y, 1, 1);
+    }
+    return b.tripCount(trip).build();
+}
+
+Ddg
+intAddressKernel(const std::string &name, const LatencyTable &lat,
+                 int width, std::int64_t trip)
+{
+    GPSCHED_ASSERT(width >= 1, "bad width");
+    DdgBuilder b(name, lat);
+    NodeId iv = addInduction(b);
+    NodeId base = b.op(Opcode::IMul, "scale");
+    b.flow(iv, base);
+    for (int w = 0; w < width; ++w) {
+        NodeId off = b.op(Opcode::IAlu, "off");
+        b.flow(base, off);
+        NodeId idx = b.op(Opcode::Load, "ldidx");
+        b.flow(off, idx);
+        NodeId addr = b.op(Opcode::IAlu, "gather");
+        b.flow(idx, addr);
+        NodeId val = b.op(Opcode::Load, "ldval");
+        b.flow(addr, val);
+        NodeId upd = b.op(Opcode::FAdd, "upd");
+        b.flow(val, upd);
+        NodeId st = b.op(Opcode::Store, "st");
+        b.flow(upd, st);
+        b.flow(addr, st);
+        b.order(st, val, 1, 1);
+    }
+    return b.tripCount(trip).build();
+}
+
+Ddg
+randomLoop(const std::string &name, const LatencyTable &lat, Rng &rng,
+           const RandomLoopParams &params)
+{
+    GPSCHED_ASSERT(params.numOps >= 2, "random loop too small");
+    DdgBuilder b(name, lat);
+
+    auto pick_opcode = [&]() {
+        if (rng.nextBool(params.memFraction))
+            return rng.nextBool(0.65) ? Opcode::Load : Opcode::Store;
+        if (rng.nextBool(params.fpFraction)) {
+            double r = rng.nextDouble();
+            if (r < 0.45)
+                return Opcode::FAdd;
+            if (r < 0.9)
+                return Opcode::FMul;
+            return Opcode::FDiv;
+        }
+        double r = rng.nextDouble();
+        if (r < 0.8)
+            return Opcode::IAlu;
+        if (r < 0.95)
+            return Opcode::IMul;
+        return Opcode::IDiv;
+    };
+
+    std::vector<NodeId> nodes;
+    std::vector<NodeId> defs; // nodes that define a value
+    // Seed with a defining op so every later node can find a producer.
+    nodes.push_back(b.op(Opcode::Load, "seed"));
+    defs.push_back(nodes[0]);
+    for (int i = 1; i < params.numOps; ++i) {
+        Opcode op = pick_opcode();
+        NodeId v = b.op(op, "n" + std::to_string(i));
+        // Connect from a random earlier producer: keeps the graph
+        // connected and acyclic at distance 0.
+        NodeId p = defs[rng.nextBelow(defs.size())];
+        b.flow(p, v);
+        if (rng.nextBool(params.fanoutProb)) {
+            NodeId q = defs[rng.nextBelow(defs.size())];
+            if (q != p)
+                b.flow(q, v);
+        }
+        if (definesValue(op)) {
+            // Loop-carried feedback with small probability.
+            if (rng.nextBool(params.carriedProb) && !nodes.empty()) {
+                NodeId dst = nodes[rng.nextBelow(nodes.size())];
+                int dist = 1 + static_cast<int>(rng.nextBelow(
+                                   params.maxDistance));
+                b.carried(v, dst, dist);
+            }
+            defs.push_back(v);
+        }
+        nodes.push_back(v);
+    }
+    std::int64_t trip = params.tripCount;
+    return b.tripCount(trip).build();
+}
+
+} // namespace gpsched

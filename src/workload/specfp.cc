@@ -1,0 +1,194 @@
+#include "workload/specfp.hh"
+
+#include "support/logging.hh"
+#include "support/random.hh"
+#include "workload/loop_shapes.hh"
+
+namespace gpsched
+{
+
+namespace
+{
+
+/** Stable per-benchmark seed (index in the canonical name order). */
+std::uint64_t
+benchmarkSeed(std::size_t index)
+{
+    return 0x5bec95ULL * 2654435761ULL + index * 0x9e3779b9ULL;
+}
+
+/** Appends @p count random filler loops with benchmark-flavoured
+ *  parameters; models the long tail of small loops every benchmark
+ *  carries besides its hot kernels. */
+void
+addFillerLoops(Program &prog, const LatencyTable &lat, Rng &rng,
+               int count, const RandomLoopParams &base)
+{
+    for (int i = 0; i < count; ++i) {
+        RandomLoopParams params = base;
+        params.numOps =
+            base.numOps + static_cast<int>(rng.nextBelow(9)) - 4;
+        params.tripCount =
+            20 + static_cast<std::int64_t>(rng.nextBelow(90));
+        Rng child = rng.fork();
+        prog.loops.push_back(randomLoop(
+            prog.name + "_tail" + std::to_string(i), lat, child,
+            params));
+    }
+}
+
+} // namespace
+
+const std::vector<std::string> &
+specFp95Names()
+{
+    static const std::vector<std::string> names = {
+        "tomcatv", "swim",   "su2cor", "hydro2d", "mgrid",
+        "applu",   "turb3d", "apsi",   "fpppp",   "wave5",
+    };
+    return names;
+}
+
+Program
+specFp95Program(const std::string &name, const LatencyTable &lat)
+{
+    const auto &names = specFp95Names();
+    std::size_t index = 0;
+    while (index < names.size() && names[index] != name)
+        ++index;
+    if (index == names.size())
+        GPSCHED_FATAL("unknown SPECfp95 benchmark '", name, "'");
+    Rng rng(benchmarkSeed(index));
+
+    Program prog;
+    prog.name = name;
+    if (name == "tomcatv") {
+        // Mesh generation: mid-size stencil sweeps plus streams.
+        prog.loops.push_back(
+            stencilKernel("tomcatv_relax", lat, 9, 420));
+        prog.loops.push_back(
+            stencilKernel("tomcatv_residual", lat, 5, 420));
+        prog.loops.push_back(
+            streamKernel("tomcatv_copy", lat, 3, 2, 420));
+        prog.loops.push_back(
+            daxpyKernel("tomcatv_update", lat, 2, 420));
+        prog.loops.push_back(
+            reductionKernel("tomcatv_norm", lat, 4, 420));
+        addFillerLoops(prog, lat, rng, 2, {});
+    } else if (name == "swim") {
+        // Shallow-water 2D stencil updates; memory-port bound.
+        prog.loops.push_back(stencilKernel("swim_calc1", lat, 9, 512));
+        prog.loops.push_back(stencilKernel("swim_calc2", lat, 7, 512));
+        prog.loops.push_back(stencilKernel("swim_calc3", lat, 5, 512));
+        prog.loops.push_back(
+            streamKernel("swim_periodic", lat, 4, 1, 512));
+        addFillerLoops(prog, lat, rng, 2, {});
+    } else if (name == "su2cor") {
+        // Quark propagator: matrix kernels, dot products, reductions.
+        prog.loops.push_back(
+            dotProductKernel("su2cor_gamma", lat, 4, 300));
+        prog.loops.push_back(
+            reductionKernel("su2cor_trace", lat, 6, 300));
+        prog.loops.push_back(
+            wideBlockKernel("su2cor_su2mul", lat, 6, 3, 300));
+        prog.loops.push_back(
+            recurrenceKernel("su2cor_sweep", lat, 10, 300));
+        prog.loops.push_back(
+            streamKernel("su2cor_shift", lat, 3, 2, 300));
+        addFillerLoops(prog, lat, rng, 2, {});
+    } else if (name == "hydro2d") {
+        // Navier-Stokes: recurrence-dominated with stencil updates.
+        prog.loops.push_back(
+            recurrenceKernel("hydro2d_filter", lat, 12, 350));
+        prog.loops.push_back(
+            recurrenceKernel("hydro2d_advec", lat, 8, 350));
+        prog.loops.push_back(
+            stencilKernel("hydro2d_flux", lat, 7, 350));
+        prog.loops.push_back(
+            daxpyKernel("hydro2d_corr", lat, 3, 350));
+        prog.loops.push_back(
+            reductionKernel("hydro2d_cfl", lat, 5, 350));
+        addFillerLoops(prog, lat, rng, 2, {});
+    } else if (name == "mgrid") {
+        // Multigrid: 27-point 3D stencils; strongly memory bound.
+        prog.loops.push_back(
+            stencilKernel("mgrid_resid", lat, 21, 256));
+        prog.loops.push_back(stencilKernel("mgrid_psinv", lat, 15, 256));
+        prog.loops.push_back(
+            stencilKernel("mgrid_interp", lat, 8, 256));
+        prog.loops.push_back(
+            streamKernel("mgrid_comm3", lat, 4, 1, 256));
+        addFillerLoops(prog, lat, rng, 2, {});
+    } else if (name == "applu") {
+        // LU SSOR solver: blocked kernels plus wavefront recurrences.
+        prog.loops.push_back(
+            wideBlockKernel("applu_blts", lat, 8, 4, 280));
+        prog.loops.push_back(
+            wideBlockKernel("applu_buts", lat, 8, 4, 280));
+        prog.loops.push_back(
+            recurrenceKernel("applu_ssor", lat, 9, 280));
+        prog.loops.push_back(stencilKernel("applu_rhs", lat, 9, 280));
+        prog.loops.push_back(
+            dotProductKernel("applu_l2norm", lat, 3, 280));
+        addFillerLoops(prog, lat, rng, 2, {});
+    } else if (name == "turb3d") {
+        // Turbulence FFT butterflies: wide independent FP blocks.
+        prog.loops.push_back(
+            wideBlockKernel("turb3d_fft1", lat, 10, 4, 320));
+        prog.loops.push_back(
+            wideBlockKernel("turb3d_fft2", lat, 6, 6, 320));
+        prog.loops.push_back(
+            streamKernel("turb3d_transpose", lat, 4, 1, 320));
+        prog.loops.push_back(
+            streamKernel("turb3d_scale", lat, 3, 3, 320));
+        addFillerLoops(prog, lat, rng, 2, {});
+    } else if (name == "apsi") {
+        // Mesoscale weather: mixed recurrences, stencils, integers.
+        prog.loops.push_back(
+            recurrenceKernel("apsi_hydro", lat, 10, 300));
+        prog.loops.push_back(stencilKernel("apsi_dcdx", lat, 7, 300));
+        prog.loops.push_back(
+            intAddressKernel("apsi_index", lat, 3, 300));
+        prog.loops.push_back(
+            reductionKernel("apsi_energy", lat, 4, 300));
+        prog.loops.push_back(
+            daxpyKernel("apsi_smooth", lat, 2, 300));
+        addFillerLoops(prog, lat, rng, 2, {});
+    } else if (name == "fpppp") {
+        // Gaussian integrals: enormous flat blocks, extreme register
+        // pressure, few memory ops relative to FP work.
+        prog.loops.push_back(
+            wideBlockKernel("fpppp_twoel1", lat, 16, 6, 180));
+        prog.loops.push_back(
+            wideBlockKernel("fpppp_twoel2", lat, 12, 8, 180));
+        prog.loops.push_back(
+            wideBlockKernel("fpppp_fmtgen", lat, 8, 10, 180));
+        addFillerLoops(prog, lat, rng, 1, {});
+    } else { // wave5
+        // Plasma PIC: gather/scatter address arithmetic plus streams.
+        prog.loops.push_back(
+            intAddressKernel("wave5_gather", lat, 4, 400));
+        prog.loops.push_back(
+            intAddressKernel("wave5_scatter", lat, 3, 400));
+        prog.loops.push_back(
+            streamKernel("wave5_push", lat, 4, 2, 400));
+        prog.loops.push_back(
+            stencilKernel("wave5_field", lat, 5, 400));
+        prog.loops.push_back(
+            reductionKernel("wave5_density", lat, 3, 400));
+        addFillerLoops(prog, lat, rng, 2, {});
+    }
+    return prog;
+}
+
+std::vector<Program>
+specFp95Suite(const LatencyTable &lat)
+{
+    std::vector<Program> suite;
+    suite.reserve(specFp95Names().size());
+    for (const std::string &name : specFp95Names())
+        suite.push_back(specFp95Program(name, lat));
+    return suite;
+}
+
+} // namespace gpsched

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Unit tests for the multilevel coarsening hierarchy: member
+ * bookkeeping, edge weight combination, termination at the target
+ * node count and the handling of disconnected graphs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "graph/ddg_builder.hh"
+#include "partition/coarsen.hh"
+#include "partition/edge_weights.hh"
+#include "testing/fixtures.hh"
+#include "workload/loop_shapes.hh"
+
+using namespace gpsched;
+using namespace gpsched::testing;
+
+namespace
+{
+
+CoarseningHierarchy
+coarsen(const Ddg &g, int target,
+        MatchingPolicy policy = MatchingPolicy::GreedyHeavy)
+{
+    std::vector<std::int64_t> weights(g.numEdges(), 1);
+    Rng rng(7);
+    return CoarseningHierarchy(g, weights, target, policy, rng);
+}
+
+/** Checks that a level's members exactly partition [0, n). */
+void
+expectPartitionOfNodes(const CoarseLevel &level, int n)
+{
+    std::set<NodeId> seen;
+    for (int m = 0; m < level.numNodes(); ++m) {
+        for (NodeId v : level.members[m]) {
+            EXPECT_TRUE(seen.insert(v).second)
+                << "node " << v << " in two macro-nodes";
+            EXPECT_EQ(level.coarseOf[v], m);
+        }
+    }
+    EXPECT_EQ(static_cast<int>(seen.size()), n);
+}
+
+} // namespace
+
+TEST(Coarsen, FinestLevelIsIdentity)
+{
+    LatencyTable lat;
+    Ddg g = diamondLoop(lat);
+    CoarseningHierarchy h = coarsen(g, 2);
+    const CoarseLevel &finest = h.levels().front();
+    EXPECT_EQ(finest.numNodes(), g.numNodes());
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+        ASSERT_EQ(finest.members[v].size(), 1u);
+        EXPECT_EQ(finest.members[v][0], v);
+    }
+}
+
+TEST(Coarsen, EveryLevelPartitionsTheNodes)
+{
+    LatencyTable lat;
+    Ddg g = memHeavyLoop(9, lat);
+    CoarseningHierarchy h = coarsen(g, 2);
+    for (const CoarseLevel &level : h.levels())
+        expectPartitionOfNodes(level, g.numNodes());
+}
+
+TEST(Coarsen, NodeCountsStrictlyDecreaseToTarget)
+{
+    LatencyTable lat;
+    Ddg g = memHeavyLoop(12, lat);
+    CoarseningHierarchy h = coarsen(g, 4);
+    const auto &levels = h.levels();
+    for (std::size_t i = 1; i < levels.size(); ++i)
+        EXPECT_LT(levels[i].numNodes(), levels[i - 1].numNodes());
+    EXPECT_LE(h.coarsest().numNodes(), 4);
+    EXPECT_GE(h.coarsest().numNodes(), 1);
+}
+
+TEST(Coarsen, WeightsCombineOnMergedEdges)
+{
+    // Triangle a-b-c with weights 10 (a,b), 3 (a,c), 4 (b,c). After
+    // merging {a,b}, the two edges to c must combine into one of
+    // weight 7.
+    Ddg g;
+    NodeId a = g.addNode(Opcode::IAlu);
+    NodeId b = g.addNode(Opcode::IAlu);
+    NodeId c = g.addNode(Opcode::IAlu);
+    g.addEdge(a, b, 1);
+    g.addEdge(a, c, 1);
+    g.addEdge(b, c, 1);
+    std::vector<std::int64_t> weights = {10, 3, 4};
+    Rng rng(1);
+    CoarseningHierarchy h(g, weights, 2, MatchingPolicy::GreedyHeavy,
+                          rng);
+    const CoarseLevel &level = h.coarsest();
+    ASSERT_EQ(level.numNodes(), 2);
+    ASSERT_EQ(level.edges.size(), 1u);
+    EXPECT_EQ(level.edges[0].weight, 7);
+}
+
+TEST(Coarsen, HeavyEdgeMergedFirst)
+{
+    // Path with one dominant edge: its endpoints end in the same
+    // macro-node of the next level.
+    Ddg g;
+    for (int i = 0; i < 4; ++i)
+        g.addNode(Opcode::IAlu);
+    g.addEdge(0, 1, 1);
+    g.addEdge(1, 2, 1);
+    g.addEdge(2, 3, 1);
+    std::vector<std::int64_t> weights = {1, 100, 1};
+    Rng rng(1);
+    CoarseningHierarchy h(g, weights, 3, MatchingPolicy::GreedyHeavy,
+                          rng);
+    ASSERT_GE(h.levels().size(), 2u);
+    const CoarseLevel &next = h.levels()[1];
+    EXPECT_EQ(next.coarseOf[1], next.coarseOf[2]);
+}
+
+TEST(Coarsen, OppositeEdgesCombine)
+{
+    // a->b and b->a (carried) must appear as a single undirected
+    // edge with summed weight.
+    Ddg g;
+    NodeId a = g.addNode(Opcode::FMul);
+    NodeId b = g.addNode(Opcode::FAdd);
+    g.addEdge(a, b, 4);
+    g.addEdge(b, a, 3, 1);
+    std::vector<std::int64_t> weights = {5, 6};
+    Rng rng(1);
+    CoarseningHierarchy h(g, weights, 2, MatchingPolicy::GreedyHeavy,
+                          rng);
+    const CoarseLevel &finest = h.levels().front();
+    ASSERT_EQ(finest.edges.size(), 1u);
+    EXPECT_EQ(finest.edges[0].weight, 11);
+}
+
+TEST(Coarsen, DisconnectedNodesStillCoarsen)
+{
+    // A graph with no edges can only shrink by force-merging
+    // unmatched nodes; the hierarchy must still reach the target.
+    LatencyTable lat;
+    Ddg g = parallelLoop(9, lat);
+    CoarseningHierarchy h = coarsen(g, 2);
+    EXPECT_LE(h.coarsest().numNodes(), 2);
+    for (const CoarseLevel &level : h.levels())
+        expectPartitionOfNodes(level, g.numNodes());
+}
+
+TEST(Coarsen, SelfEdgesNeverAppearInCoarseGraphs)
+{
+    LatencyTable lat;
+    Ddg g = recurrenceLoop(lat);
+    CoarseningHierarchy h = coarsen(g, 1);
+    for (const CoarseLevel &level : h.levels()) {
+        for (const MatchEdge &e : level.edges)
+            EXPECT_NE(e.a, e.b);
+    }
+}
+
+TEST(Coarsen, TargetLargerThanGraphYieldsSingleLevel)
+{
+    LatencyTable lat;
+    Ddg g = diamondLoop(lat); // 5 nodes
+    CoarseningHierarchy h = coarsen(g, 8);
+    EXPECT_EQ(h.levels().size(), 1u);
+    EXPECT_EQ(h.coarsest().numNodes(), g.numNodes());
+}
+
+TEST(Coarsen, RandomPolicyStillPartitionsNodes)
+{
+    LatencyTable lat;
+    Rng gen(3);
+    Ddg g = randomLoop("r", lat, gen);
+    CoarseningHierarchy h = coarsen(g, 4, MatchingPolicy::RandomMaximal);
+    for (const CoarseLevel &level : h.levels())
+        expectPartitionOfNodes(level, g.numNodes());
+    EXPECT_LE(h.coarsest().numNodes(), 4);
+}
+
+TEST(Coarsen, WeightTotalsConservedAcrossLevels)
+{
+    // Total undirected edge weight = internal (vanished) + external
+    // (remaining); the remaining total never grows.
+    LatencyTable lat;
+    Ddg g = memHeavyLoop(8, lat);
+    std::vector<std::int64_t> weights(g.numEdges(), 0);
+    for (EdgeId e = 0; e < g.numEdges(); ++e)
+        weights[e] = e + 1;
+    Rng rng(5);
+    CoarseningHierarchy h(g, weights, 2, MatchingPolicy::GreedyHeavy,
+                          rng);
+    std::int64_t prev_total =
+        std::accumulate(weights.begin(), weights.end(),
+                        std::int64_t{0});
+    for (const CoarseLevel &level : h.levels()) {
+        std::int64_t total = 0;
+        for (const MatchEdge &e : level.edges)
+            total += e.weight;
+        EXPECT_LE(total, prev_total);
+        prev_total = total;
+    }
+}

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Unit tests for the modulo reservation table, including the modulo
+ * wrap of multi-cycle reservations and negative flat cycles.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "sched/mrt.hh"
+
+using namespace gpsched;
+
+TEST(WrapSlot, EuclideanModulo)
+{
+    EXPECT_EQ(wrapSlot(0, 4), 0);
+    EXPECT_EQ(wrapSlot(5, 4), 1);
+    EXPECT_EQ(wrapSlot(-1, 4), 3);
+    EXPECT_EQ(wrapSlot(-8, 4), 0);
+}
+
+TEST(Mrt, FreshTableIsEmpty)
+{
+    ModuloReservationTable mrt(2, 4);
+    EXPECT_EQ(mrt.usedSlots(), 0);
+    EXPECT_EQ(mrt.totalSlots(), 8);
+    EXPECT_EQ(mrt.freeSlots(), 8);
+    for (int c = 0; c < 4; ++c)
+        EXPECT_EQ(mrt.busyAt(c), 0);
+}
+
+TEST(Mrt, SingleUnitConflictsOnSameSlot)
+{
+    ModuloReservationTable mrt(1, 4);
+    EXPECT_TRUE(mrt.canReserve(1, 1));
+    mrt.reserve(1, 1);
+    EXPECT_FALSE(mrt.canReserve(1, 1));
+    EXPECT_FALSE(mrt.canReserve(5, 1));  // 5 mod 4 == 1
+    EXPECT_FALSE(mrt.canReserve(-3, 1)); // -3 mod 4 == 1
+    EXPECT_TRUE(mrt.canReserve(2, 1));
+}
+
+TEST(Mrt, MultiUnitPoolAllowsOverlap)
+{
+    ModuloReservationTable mrt(2, 3);
+    mrt.reserve(0, 1);
+    EXPECT_TRUE(mrt.canReserve(0, 1));
+    mrt.reserve(0, 1);
+    EXPECT_FALSE(mrt.canReserve(0, 1));
+    EXPECT_EQ(mrt.busyAt(0), 2);
+}
+
+TEST(Mrt, MultiCycleOccupancyWraps)
+{
+    ModuloReservationTable mrt(1, 3);
+    // Occupancy 2 starting at slot 2 busies slots 2 and 0.
+    mrt.reserve(2, 2);
+    EXPECT_FALSE(mrt.canReserve(0, 1));
+    EXPECT_TRUE(mrt.canReserve(1, 1));
+    EXPECT_FALSE(mrt.canReserve(2, 1));
+}
+
+TEST(Mrt, OccupancyLargerThanIi)
+{
+    // A 6-cycle op in a 4-slot kernel busies every slot, two slots
+    // twice; a 2-unit pool can host it, a 1-unit pool cannot.
+    ModuloReservationTable one(1, 4);
+    EXPECT_FALSE(one.canReserve(0, 6));
+    ModuloReservationTable two(2, 4);
+    EXPECT_TRUE(two.canReserve(0, 6));
+    two.reserve(0, 6);
+    EXPECT_EQ(two.usedSlots(), 6);
+    EXPECT_EQ(two.busyAt(0), 2);
+    EXPECT_EQ(two.busyAt(1), 2);
+    EXPECT_EQ(two.busyAt(2), 1);
+    EXPECT_EQ(two.busyAt(3), 1);
+}
+
+TEST(Mrt, ReleaseRestoresState)
+{
+    ModuloReservationTable mrt(1, 5);
+    mrt.reserve(3, 2);
+    EXPECT_EQ(mrt.usedSlots(), 2);
+    mrt.release(3, 2);
+    EXPECT_EQ(mrt.usedSlots(), 0);
+    for (int c = 0; c < 5; ++c)
+        EXPECT_EQ(mrt.busyAt(c), 0);
+}
+
+TEST(Mrt, ZeroUnitPoolRefusesAll)
+{
+    ModuloReservationTable mrt(0, 4);
+    EXPECT_FALSE(mrt.canReserve(0, 1));
+    EXPECT_EQ(mrt.totalSlots(), 0);
+}
+
+using MrtDeathTest = ::testing::Test;
+
+TEST(MrtDeathTest, ReleaseOfFreeSlotPanics)
+{
+    ModuloReservationTable mrt(1, 4);
+    EXPECT_DEATH(mrt.release(0, 1), "");
+}
+
+TEST(MrtDeathTest, BadIiPanics)
+{
+    EXPECT_DEATH(ModuloReservationTable(1, 0), "");
+}
+
+// Property sweep over (units, ii, occupancy): filling the pool slot
+// by slot is consistent with canReserve and releasing everything
+// returns to empty.
+class MrtSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(MrtSweep, FillAndDrainConsistency)
+{
+    auto [units, ii, occ] = GetParam();
+    ModuloReservationTable mrt(units, ii);
+
+    std::vector<std::pair<int, int>> reserved;
+    // Greedily reserve at every start cycle until nothing fits.
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (int c = -ii; c < 2 * ii; ++c) {
+            if (mrt.canReserve(c, occ)) {
+                mrt.reserve(c, occ);
+                reserved.push_back({c, occ});
+                progress = true;
+                break;
+            }
+        }
+    }
+    // The pool is saturated somewhere: usedSlots is within capacity
+    // and no single-cycle slot more than `units` busy.
+    EXPECT_LE(mrt.usedSlots(), mrt.totalSlots());
+    for (int c = 0; c < ii; ++c)
+        EXPECT_LE(mrt.busyAt(c), units);
+    // Capacity actually used: at least units * floor(ii/occ) slots.
+    EXPECT_GE(static_cast<int>(reserved.size()),
+              units * (ii / std::max(occ, 1)));
+
+    for (auto [c, o] : reserved)
+        mrt.release(c, o);
+    EXPECT_EQ(mrt.usedSlots(), 0);
+    EXPECT_EQ(mrt.freeSlots(), mrt.totalSlots());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pools, MrtSweep,
+    ::testing::Combine(::testing::Values(1, 2, 4), // units
+                       ::testing::Values(1, 3, 8), // ii
+                       ::testing::Values(1, 2, 5)));

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Unit tests for the Partition container and the communication
+ * queries: cut edges, NComm (one transfer per value and destination
+ * cluster) and the IIbus bound of paper Section 3.1.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/ddg_builder.hh"
+#include "machine/configs.hh"
+#include "partition/partition.hh"
+
+using namespace gpsched;
+
+TEST(Partition, InitialAssignment)
+{
+    Partition p(5, 2);
+    EXPECT_EQ(p.numNodes(), 5);
+    EXPECT_EQ(p.numClusters(), 2);
+    for (NodeId v = 0; v < 5; ++v)
+        EXPECT_EQ(p.clusterOf(v), 0);
+    EXPECT_EQ(p.nodesIn(0).size(), 5u);
+    EXPECT_TRUE(p.nodesIn(1).empty());
+}
+
+TEST(Partition, AssignMoves)
+{
+    Partition p(3, 2);
+    p.assign(1, 1);
+    EXPECT_EQ(p.clusterOf(1), 1);
+    EXPECT_EQ(p.nodesIn(0).size(), 2u);
+    EXPECT_EQ(p.nodesIn(1).size(), 1u);
+    EXPECT_EQ(p.raw()[1], 1);
+}
+
+using PartitionDeathTest = ::testing::Test;
+
+TEST(PartitionDeathTest, BadClusterPanics)
+{
+    Partition p(3, 2);
+    EXPECT_DEATH(p.assign(0, 2), "");
+}
+
+TEST(PartitionDeathTest, BadNodePanics)
+{
+    Partition p(3, 2);
+    EXPECT_DEATH(p.clusterOf(5), "");
+}
+
+namespace
+{
+
+/** a -> {b, c}; b -> c. All flow. */
+Ddg
+fanGraph(const LatencyTable &lat)
+{
+    DdgBuilder b("fan", lat);
+    NodeId a = b.op(Opcode::Load, "a");
+    NodeId x = b.op(Opcode::FAdd, "x");
+    NodeId y = b.op(Opcode::FAdd, "y");
+    b.flow(a, x);
+    b.flow(a, y);
+    b.flow(x, y);
+    return b.build();
+}
+
+} // namespace
+
+TEST(PartitionQueries, NoCutWhenTogether)
+{
+    LatencyTable lat;
+    Ddg g = fanGraph(lat);
+    Partition p(g.numNodes(), 2, 0);
+    EXPECT_EQ(numCutEdges(g, p), 0);
+    EXPECT_EQ(numCommunications(g, p), 0);
+}
+
+TEST(PartitionQueries, CutEdgesCountEdges)
+{
+    LatencyTable lat;
+    Ddg g = fanGraph(lat);
+    Partition p(g.numNodes(), 2, 0);
+    p.assign(2, 1); // y alone: cuts a->y and x->y
+    EXPECT_EQ(numCutEdges(g, p), 2);
+}
+
+TEST(PartitionQueries, NCommCountsValueClusterPairs)
+{
+    LatencyTable lat;
+    DdgBuilder b("multi", lat);
+    NodeId a = b.op(Opcode::Load, "a");
+    NodeId c1 = b.op(Opcode::FAdd);
+    NodeId c2 = b.op(Opcode::FAdd);
+    NodeId c3 = b.op(Opcode::FAdd);
+    b.flow(a, c1);
+    b.flow(a, c2);
+    b.flow(a, c3);
+    Ddg g = b.build();
+
+    // Two consumers in cluster 1, one in cluster 2: the value of a
+    // crosses once per destination cluster, so NComm = 2 although
+    // three edges are cut.
+    Partition p(g.numNodes(), 3, 0);
+    p.assign(c1, 1);
+    p.assign(c2, 1);
+    p.assign(c3, 2);
+    EXPECT_EQ(numCutEdges(g, p), 3);
+    EXPECT_EQ(numCommunications(g, p), 2);
+}
+
+TEST(PartitionQueries, OrderEdgesDoNotCommunicate)
+{
+    LatencyTable lat;
+    DdgBuilder b("order", lat);
+    NodeId st = b.op(Opcode::Store);
+    NodeId ld = b.op(Opcode::Load);
+    b.order(st, ld, 1, 1);
+    Ddg g = b.build();
+    Partition p(g.numNodes(), 2, 0);
+    p.assign(ld, 1);
+    EXPECT_EQ(numCutEdges(g, p), 1);
+    EXPECT_EQ(numCommunications(g, p), 0);
+    EXPECT_EQ(iiBusBound(g, p, twoClusterConfig(32, 1)), 0);
+}
+
+TEST(PartitionQueries, IiBusFormula)
+{
+    LatencyTable lat;
+    DdgBuilder b("many", lat);
+    NodeId src = b.op(Opcode::Load, "src");
+    std::vector<NodeId> sinks;
+    for (int i = 0; i < 5; ++i) {
+        NodeId s = b.op(Opcode::FAdd);
+        b.flow(src, s);
+        sinks.push_back(s);
+    }
+    Ddg g = b.build();
+
+    // Each sink in its own... all 5 sinks in cluster 1: one value,
+    // one destination -> NComm = 1.
+    Partition p(g.numNodes(), 2, 0);
+    for (NodeId s : sinks)
+        p.assign(s, 1);
+    EXPECT_EQ(numCommunications(g, p), 1);
+    EXPECT_EQ(iiBusBound(g, p, twoClusterConfig(32, 1, 1)), 1);
+    // Bus latency 2: ceil(1 * 2 / 1) = 2.
+    EXPECT_EQ(iiBusBound(g, p, twoClusterConfig(32, 2, 1)), 2);
+
+    // Spread sinks over 3 clusters of a 4-cluster machine: NComm = 3.
+    Partition q(g.numNodes(), 4, 0);
+    q.assign(sinks[0], 1);
+    q.assign(sinks[1], 2);
+    q.assign(sinks[2], 3);
+    q.assign(sinks[3], 1);
+    q.assign(sinks[4], 2);
+    EXPECT_EQ(numCommunications(g, q), 3);
+    EXPECT_EQ(iiBusBound(g, q, fourClusterConfig(32, 2, 1)), 6);
+    // Two buses halve the bound.
+    EXPECT_EQ(iiBusBound(g, q, fourClusterConfig(32, 2, 2)), 3);
+}
+
+TEST(PartitionQueries, UnifiedMachineHasNoBusBound)
+{
+    LatencyTable lat;
+    Ddg g = fanGraph(lat);
+    Partition p(g.numNodes(), 1, 0);
+    EXPECT_EQ(iiBusBound(g, p, unifiedConfig(32)), 0);
+}
+
+TEST(PartitionQueries, LoopCarriedFlowCommunicates)
+{
+    LatencyTable lat;
+    DdgBuilder b("carried", lat);
+    NodeId a = b.op(Opcode::FAdd, "a");
+    NodeId c = b.op(Opcode::FMul, "c");
+    b.carried(a, c, 1);
+    Ddg g = b.build();
+    Partition p(g.numNodes(), 2, 0);
+    p.assign(c, 1);
+    EXPECT_EQ(numCommunications(g, p), 1);
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Unit tests for the whole-program pipeline: per-program aggregation
+ * of operations, cycles and scheduling time, and suite-level means.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.hh"
+#include "core/pipeline.hh"
+#include "machine/configs.hh"
+#include "testing/fixtures.hh"
+#include "workload/loop_shapes.hh"
+
+using namespace gpsched;
+using namespace gpsched::testing;
+
+namespace
+{
+
+Program
+smallProgram(const LatencyTable &lat)
+{
+    Program p;
+    p.name = "small";
+    p.loops.push_back(stencilKernel("a", lat, 5, 50));
+    p.loops.push_back(reductionKernel("b", lat, 3, 80));
+    p.loops.push_back(daxpyKernel("c", lat, 2, 30));
+    return p;
+}
+
+} // namespace
+
+TEST(Pipeline, AggregatesLoops)
+{
+    LatencyTable lat;
+    Program prog = smallProgram(lat);
+    MachineConfig m = twoClusterConfig(32, 1);
+    ProgramResult r = compileProgram(prog, m, SchedulerKind::Gp);
+
+    ASSERT_EQ(r.loops.size(), prog.loops.size());
+    std::int64_t ops = 0, cycles = 0;
+    for (const CompiledLoop &loop : r.loops) {
+        ops += loop.ops;
+        cycles += loop.cycles;
+    }
+    EXPECT_EQ(r.totalOps, ops);
+    EXPECT_EQ(r.totalCycles, cycles);
+    EXPECT_DOUBLE_EQ(r.ipc, ipcOf(ops, cycles));
+    EXPECT_EQ(r.name, "small");
+    EXPECT_GE(r.schedSeconds, 0.0);
+}
+
+TEST(Pipeline, ListScheduledCounter)
+{
+    LatencyTable lat;
+    Program prog = smallProgram(lat);
+    MachineConfig m = twoClusterConfig(32, 1);
+    ProgramResult r = compileProgram(prog, m, SchedulerKind::Uracam);
+    int fallback = 0;
+    for (const CompiledLoop &loop : r.loops)
+        fallback += !loop.moduloScheduled;
+    EXPECT_EQ(r.listScheduled, fallback);
+}
+
+TEST(Pipeline, SuiteMeanIpc)
+{
+    LatencyTable lat;
+    std::vector<Program> suite = {smallProgram(lat)};
+    suite.push_back(suite[0]);
+    suite[1].name = "twin";
+    MachineConfig m = twoClusterConfig(32, 1);
+    SuiteResult r = compileSuite(suite, m, SchedulerKind::Gp);
+    ASSERT_EQ(r.programs.size(), 2u);
+    // Identical programs -> the mean equals either IPC.
+    EXPECT_NEAR(r.meanIpc, r.programs[0].ipc, 1e-12);
+    EXPECT_NEAR(r.programs[0].ipc, r.programs[1].ipc, 1e-12);
+}
+
+TEST(Pipeline, UnifiedUpperBoundsClusteredPerProgram)
+{
+    // The unified machine has the same resources with no
+    // communication penalty; its IPC must match or beat every
+    // clustered scheme on the same loops (paper Section 4.1).
+    LatencyTable lat;
+    Program prog = smallProgram(lat);
+    MachineConfig uni = unifiedConfig(32);
+    MachineConfig c4 = fourClusterConfig(32, 1);
+    double unified_ipc =
+        compileProgram(prog, uni, SchedulerKind::Uracam).ipc;
+    for (SchedulerKind kind :
+         {SchedulerKind::Uracam, SchedulerKind::FixedPartition,
+          SchedulerKind::Gp}) {
+        double clustered =
+            compileProgram(prog, c4, kind).ipc;
+        EXPECT_LE(clustered, unified_ipc * 1.0001)
+            << toString(kind);
+    }
+}
+
+TEST(Pipeline, EmptyProgram)
+{
+    Program prog;
+    prog.name = "empty";
+    MachineConfig m = twoClusterConfig(32, 1);
+    ProgramResult r = compileProgram(prog, m, SchedulerKind::Gp);
+    EXPECT_EQ(r.totalOps, 0);
+    EXPECT_EQ(r.totalCycles, 0);
+    EXPECT_EQ(r.ipc, 0.0);
+}

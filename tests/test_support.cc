@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Unit tests for the support substrate: deterministic RNG, summary
+ * statistics, table rendering and the CPU timer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "support/random.hh"
+#include "support/stats.hh"
+#include "support/table.hh"
+#include "support/timer.hh"
+
+using namespace gpsched;
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int differing = 0;
+    for (int i = 0; i < 32; ++i)
+        differing += a.next() != b.next();
+    EXPECT_GT(differing, 24);
+}
+
+TEST(Rng, NextBelowInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.nextBelow(13), 13u);
+}
+
+TEST(Rng, NextBelowCoversAllResidues)
+{
+    Rng rng(3);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(rng.nextBelow(7));
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextRangeInclusive)
+{
+    Rng rng(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        std::int64_t x = rng.nextRange(-3, 3);
+        EXPECT_GE(x, -3);
+        EXPECT_LE(x, 3);
+        saw_lo |= x == -3;
+        saw_hi |= x == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        double x = rng.nextDouble();
+        EXPECT_GE(x, 0.0);
+        EXPECT_LT(x, 1.0);
+    }
+}
+
+TEST(Rng, NextBoolExtremes)
+{
+    Rng rng(9);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.nextBool(0.0));
+        EXPECT_TRUE(rng.nextBool(1.0));
+    }
+}
+
+TEST(Rng, NextBoolApproximatesProbability)
+{
+    Rng rng(13);
+    int hits = 0;
+    const int trials = 10000;
+    for (int i = 0; i < trials; ++i)
+        hits += rng.nextBool(0.25);
+    EXPECT_NEAR(hits / static_cast<double>(trials), 0.25, 0.03);
+}
+
+TEST(Rng, WeightedSamplingRespectsZeros)
+{
+    Rng rng(17);
+    std::vector<double> weights = {0.0, 1.0, 0.0};
+    for (int i = 0; i < 200; ++i)
+        EXPECT_EQ(rng.nextWeighted(weights), 1u);
+}
+
+TEST(Rng, WeightedSamplingAllZeroYieldsFirst)
+{
+    Rng rng(17);
+    std::vector<double> weights = {0.0, 0.0};
+    EXPECT_EQ(rng.nextWeighted(weights), 0u);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(23);
+    std::vector<int> values = {1, 2, 3, 4, 5, 6, 7, 8};
+    std::vector<int> shuffled = values;
+    rng.shuffle(shuffled);
+    std::multiset<int> a(values.begin(), values.end());
+    std::multiset<int> b(shuffled.begin(), shuffled.end());
+    EXPECT_EQ(a, b);
+}
+
+TEST(Rng, ForkIsIndependentOfParentUse)
+{
+    // Forking then drawing from the parent must not change the
+    // child's stream: loop generators rely on this.
+    Rng parent1(99);
+    Rng child1 = parent1.fork();
+    std::vector<std::uint64_t> draws1;
+    for (int i = 0; i < 8; ++i)
+        draws1.push_back(child1.next());
+
+    Rng parent2(99);
+    Rng child2 = parent2.fork();
+    parent2.next(); // extra parent use after the fork
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(child2.next(), draws1[i]);
+}
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStat, MeanMinMax)
+{
+    RunningStat s;
+    for (double x : {4.0, 2.0, 6.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 6.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 12.0);
+}
+
+TEST(RunningStat, Variance)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_NEAR(s.variance(), 4.0, 1e-9);
+}
+
+TEST(Means, Arithmetic)
+{
+    EXPECT_DOUBLE_EQ(arithmeticMean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(arithmeticMean({}), 0.0);
+}
+
+TEST(Means, Geometric)
+{
+    EXPECT_NEAR(geometricMean({2.0, 8.0}), 4.0, 1e-9);
+    EXPECT_DOUBLE_EQ(geometricMean({}), 0.0);
+}
+
+TEST(Means, Harmonic)
+{
+    EXPECT_NEAR(harmonicMean({1.0, 1.0}), 1.0, 1e-9);
+    EXPECT_NEAR(harmonicMean({2.0, 6.0}), 3.0, 1e-9);
+}
+
+TEST(Means, SpeedupPercent)
+{
+    EXPECT_NEAR(speedupPercent(1.23, 1.0), 23.0, 1e-9);
+    EXPECT_NEAR(speedupPercent(0.5, 1.0), -50.0, 1e-9);
+}
+
+TEST(TextTable, RendersHeadersAndRows)
+{
+    TextTable table({"name", "value"});
+    table.addRow({"alpha", "1"});
+    table.addSeparator();
+    table.addRow({"beta", "22"});
+    std::ostringstream oss;
+    table.print(oss, "demo");
+    std::string out = oss.str();
+    EXPECT_NE(out.find("demo"), std::string::npos);
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(TextTable, NumFormatsPrecision)
+{
+    EXPECT_EQ(TextTable::num(1.234567, 2), "1.23");
+    EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+TEST(CpuTimer, ElapsedIsNonNegativeAndGrows)
+{
+    CpuTimer timer;
+    timer.start();
+    double first = timer.elapsedSeconds();
+    EXPECT_GE(first, 0.0);
+    // Burn a little CPU so the clock must advance.
+    volatile double sink = 0.0;
+    for (int i = 0; i < 2000000; ++i)
+        sink = sink + std::sqrt(static_cast<double>(i));
+    EXPECT_GE(timer.elapsedSeconds(), first);
+}

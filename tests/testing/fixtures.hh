@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Hand-built DDG fixtures and scheduling helpers shared by tests.
+ */
+
+#ifndef GPSCHED_TESTS_TESTING_FIXTURES_HH
+#define GPSCHED_TESTS_TESTING_FIXTURES_HH
+
+#include <optional>
+
+#include "graph/ddg.hh"
+#include "machine/machine.hh"
+#include "partition/partition.hh"
+#include "sched/schedule.hh"
+#include "sched/uracam.hh"
+
+namespace gpsched::testing
+{
+
+/** Linear chain of @p n IAlu ops (acyclic). */
+Ddg chainLoop(int n, const LatencyTable &lat);
+
+/** @p n independent IAlu ops (maximum ILP, no edges). */
+Ddg parallelLoop(int n, const LatencyTable &lat);
+
+/** First-order recurrence x = a*x + b (RecMII = FMul+FAdd). */
+Ddg recurrenceLoop(const LatencyTable &lat);
+
+/** Two loads -> FMul/FAdd diamond -> store. */
+Ddg diamondLoop(const LatencyTable &lat);
+
+/** @p loads independent loads feeding one FAdd tree and a store. */
+Ddg memHeavyLoop(int loads, const LatencyTable &lat);
+
+/**
+ * Schedules @p ddg completely with the given policy, raising the II
+ * from MII until one attempt succeeds (up to @p max_ii_slack above
+ * the flat length). Returns std::nullopt when every II fails.
+ */
+std::optional<PartialSchedule>
+scheduleLoop(const Ddg &ddg, const MachineConfig &machine,
+             ClusterPolicy policy = ClusterPolicy::FreeChoice,
+             const Partition *assignment = nullptr,
+             int max_ii_slack = 4);
+
+} // namespace gpsched::testing
+
+#endif // GPSCHED_TESTS_TESTING_FIXTURES_HH

@@ -1,0 +1,369 @@
+#include "testing/validate.hh"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace gpsched::testing
+{
+
+namespace
+{
+
+/** Euclidean modulo. */
+int
+wrap(int cycle, int m)
+{
+    int r = cycle % m;
+    return r < 0 ? r + m : r;
+}
+
+/** Accumulates [from, to] (inclusive) into per-slot counts. */
+void
+cover(int from, int to, std::vector<int> &slots)
+{
+    const int ii = static_cast<int>(slots.size());
+    int len = to - from + 1;
+    int full = len / ii;
+    int rem = len % ii;
+    for (int s = 0; s < ii; ++s)
+        slots[s] += full;
+    for (int i = 0; i < rem; ++i)
+        slots[wrap(from + i, ii)] += 1;
+}
+
+struct Checker
+{
+    const Ddg &ddg;
+    const MachineConfig &machine;
+    const PartialSchedule &ps;
+    const LatencyTable &lat;
+    int ii;
+    ValidationResult result;
+
+    Checker(const Ddg &d, const MachineConfig &m,
+            const PartialSchedule &s)
+        : ddg(d), machine(m), ps(s), lat(m.latencies()), ii(s.ii())
+    {
+    }
+
+    template <typename... Args>
+    bool
+    fail(Args &&...args)
+    {
+        std::ostringstream oss;
+        (oss << ... << std::forward<Args>(args));
+        result.valid = false;
+        result.message = oss.str();
+        return false;
+    }
+
+    int
+    writeCycle(NodeId v) const
+    {
+        return ps.cycleOf(v) + lat.latency(ddg.node(v).opcode);
+    }
+
+    /** Value-read time of edge e in the producer's iteration frame. */
+    int
+    useCycle(EdgeId e) const
+    {
+        const DdgEdge &edge = ddg.edge(e);
+        return ps.cycleOf(edge.dst) + ii * edge.distance;
+    }
+
+    bool
+    checkPlacements()
+    {
+        for (NodeId v = 0; v < ddg.numNodes(); ++v) {
+            if (!ps.isScheduled(v))
+                return fail("node ", v, " not scheduled");
+            int c = ps.clusterOf(v);
+            if (c < 0 || c >= machine.numClusters())
+                return fail("node ", v, " in bad cluster ", c);
+        }
+        return true;
+    }
+
+    /** True when a home-cluster read of @p p at @p t is legal under
+     *  its spill split. */
+    bool
+    readOk(NodeId p, int t) const
+    {
+        SpillInfo spill = ps.spillOf(p);
+        if (!spill.spilled)
+            return true;
+        int reload =
+            spill.loadCycle + lat.latency(Opcode::SpillLd);
+        return t <= spill.storeCycle || t >= reload;
+    }
+
+    bool
+    checkDependences()
+    {
+        for (EdgeId e = 0; e < ddg.numEdges(); ++e) {
+            const DdgEdge &edge = ddg.edge(e);
+            int src_cycle = ps.cycleOf(edge.src);
+            int dst_cycle = ps.cycleOf(edge.dst);
+            int eff = edge.latency - ii * edge.distance;
+            if (dst_cycle < src_cycle + eff) {
+                return fail("edge ", e, " (", edge.src, "->",
+                            edge.dst, ") violated: ", dst_cycle,
+                            " < ", src_cycle, " + ", eff);
+            }
+            if (!edge.isFlow())
+                continue;
+            int use = useCycle(e);
+            if (ps.clusterOf(edge.src) == ps.clusterOf(edge.dst)) {
+                if (use < writeCycle(edge.src)) {
+                    return fail("edge ", e, " reads before write: ",
+                                use, " < ", writeCycle(edge.src));
+                }
+                if (!readOk(edge.src, use)) {
+                    return fail("edge ", e,
+                                " reads inside the spill gap of ",
+                                edge.src, " at ", use);
+                }
+                continue;
+            }
+            // Cross-cluster value: must travel via a transfer.
+            const auto &transfers = ps.transfersOf(edge.src);
+            auto it = transfers.find(ps.clusterOf(edge.dst));
+            if (it == transfers.end()) {
+                return fail("edge ", e, ": no transfer of ",
+                            edge.src, " to cluster ",
+                            ps.clusterOf(edge.dst));
+            }
+            const Transfer &t = it->second;
+            if (t.readCycle < writeCycle(edge.src)) {
+                return fail("transfer of ", edge.src,
+                            " reads before write: ", t.readCycle,
+                            " < ", writeCycle(edge.src));
+            }
+            if (!readOk(edge.src, t.readCycle)) {
+                return fail("transfer of ", edge.src,
+                            " reads inside the spill gap at ",
+                            t.readCycle);
+            }
+            if (t.arrivalCycle > use) {
+                return fail("transfer of ", edge.src, " to cluster ",
+                            t.destCluster, " arrives at ",
+                            t.arrivalCycle, " after use ", use);
+            }
+            if (t.viaBus) {
+                if (t.readCycle != t.busCycle ||
+                    t.arrivalCycle !=
+                        t.busCycle + machine.busLatency()) {
+                    return fail("bus transfer of ", edge.src,
+                                " has inconsistent timing");
+                }
+            } else {
+                if (t.readCycle != t.stCycle ||
+                    t.ldCycle <
+                        t.stCycle + lat.latency(Opcode::CommSt) ||
+                    t.arrivalCycle !=
+                        t.ldCycle + lat.latency(Opcode::CommLd)) {
+                    return fail("memory transfer of ", edge.src,
+                                " has inconsistent timing");
+                }
+            }
+        }
+        return true;
+    }
+
+    bool
+    checkSpills()
+    {
+        for (NodeId v = 0; v < ddg.numNodes(); ++v) {
+            SpillInfo spill = ps.spillOf(v);
+            if (!spill.spilled)
+                continue;
+            if (!definesValue(ddg.node(v).opcode))
+                return fail("non-defining node ", v, " spilled");
+            if (spill.storeCycle < writeCycle(v)) {
+                return fail("spill store of ", v, " at ",
+                            spill.storeCycle, " before write ",
+                            writeCycle(v));
+            }
+            int reload =
+                spill.loadCycle + lat.latency(Opcode::SpillLd);
+            if (reload <= spill.storeCycle +
+                              lat.latency(Opcode::SpillSt)) {
+                return fail("spill of ", v,
+                            " reloads before the store completes");
+            }
+        }
+        return true;
+    }
+
+    bool
+    checkResources()
+    {
+        const int clusters = machine.numClusters();
+        // (cluster, class) -> per-slot usage.
+        std::vector<std::vector<int>> fu(
+            clusters * numFuClasses, std::vector<int>(ii, 0));
+        std::vector<int> bus(ii, 0);
+        auto reserve = [&](int cluster, FuClass cls, int cycle,
+                           int occ) {
+            auto &slots =
+                fu[cluster * numFuClasses + static_cast<int>(cls)];
+            for (int i = 0; i < occ; ++i)
+                slots[wrap(cycle + i, ii)] += 1;
+        };
+
+        int bus_transfers = 0, mem_transfers = 0, spills = 0;
+        for (NodeId v = 0; v < ddg.numNodes(); ++v) {
+            const Opcode op = ddg.node(v).opcode;
+            reserve(ps.clusterOf(v), fuClassOf(op), ps.cycleOf(v),
+                    lat.occupancy(op));
+            for (const auto &[dest, t] : ps.transfersOf(v)) {
+                if (t.viaBus) {
+                    ++bus_transfers;
+                    for (int i = 0; i < machine.busLatency(); ++i)
+                        bus[wrap(t.busCycle + i, ii)] += 1;
+                } else {
+                    ++mem_transfers;
+                    reserve(ps.clusterOf(v), FuClass::Mem, t.stCycle,
+                            lat.occupancy(Opcode::CommSt));
+                    reserve(dest, FuClass::Mem, t.ldCycle,
+                            lat.occupancy(Opcode::CommLd));
+                }
+            }
+            SpillInfo spill = ps.spillOf(v);
+            if (spill.spilled) {
+                ++spills;
+                reserve(ps.clusterOf(v), FuClass::Mem,
+                        spill.storeCycle,
+                        lat.occupancy(Opcode::SpillSt));
+                reserve(ps.clusterOf(v), FuClass::Mem,
+                        spill.loadCycle,
+                        lat.occupancy(Opcode::SpillLd));
+            }
+        }
+
+        for (int c = 0; c < clusters; ++c) {
+            for (int k = 0; k < numFuClasses; ++k) {
+                FuClass cls = static_cast<FuClass>(k);
+                int units = machine.fuPerCluster(cls);
+                const auto &slots =
+                    fu[c * numFuClasses + k];
+                for (int s = 0; s < ii; ++s) {
+                    if (slots[s] > units) {
+                        return fail("cluster ", c, " ",
+                                    toString(cls), " over capacity ",
+                                    slots[s], "/", units,
+                                    " at kernel slot ", s);
+                    }
+                }
+            }
+        }
+        for (int s = 0; s < ii; ++s) {
+            if (bus[s] > machine.numBuses()) {
+                return fail("bus over capacity ", bus[s], "/",
+                            machine.numBuses(), " at slot ", s);
+            }
+        }
+
+        ScheduleStats stats = ps.stats();
+        if (stats.busTransfers != bus_transfers ||
+            stats.memTransfers != mem_transfers ||
+            stats.spills != spills) {
+            return fail("stats mismatch: schedule reports ",
+                        stats.busTransfers, "/", stats.memTransfers,
+                        "/", stats.spills, " recount ",
+                        bus_transfers, "/", mem_transfers, "/",
+                        spills);
+        }
+        return true;
+    }
+
+    bool
+    checkRegisters()
+    {
+        const int clusters = machine.numClusters();
+        std::vector<std::vector<int>> live(clusters,
+                                           std::vector<int>(ii, 0));
+
+        for (NodeId v = 0; v < ddg.numNodes(); ++v) {
+            if (!definesValue(ddg.node(v).opcode))
+                continue;
+            const int home = ps.clusterOf(v);
+            const int write = writeCycle(v);
+
+            // Gather read events per cluster from consumers and
+            // transfers.
+            std::map<int, std::vector<int>> events;
+            for (EdgeId e : ddg.outEdges(v)) {
+                const DdgEdge &edge = ddg.edge(e);
+                if (!edge.isFlow())
+                    continue;
+                events[ps.clusterOf(edge.dst)].push_back(
+                    useCycle(e));
+            }
+            for (const auto &[dest, t] : ps.transfersOf(v))
+                events[home].push_back(t.readCycle);
+
+            // Home lifetime (with optional spill split).
+            SpillInfo spill = ps.spillOf(v);
+            int home_last = write;
+            for (int t : events[home])
+                home_last = std::max(home_last, t);
+            if (!spill.spilled) {
+                cover(write, home_last, live[home]);
+            } else {
+                cover(write, spill.storeCycle, live[home]);
+                int reload =
+                    spill.loadCycle + lat.latency(Opcode::SpillLd);
+                if (home_last >= reload)
+                    cover(reload, home_last, live[home]);
+            }
+
+            // Destination lifetimes: arrival to last read.
+            for (const auto &[dest, t] : ps.transfersOf(v)) {
+                auto it = events.find(dest);
+                if (it == events.end() || it->second.empty()) {
+                    return fail("transfer of ", v, " to cluster ",
+                                dest, " has no consumer");
+                }
+                int last = *std::max_element(it->second.begin(),
+                                             it->second.end());
+                cover(t.arrivalCycle, std::max(last, t.arrivalCycle),
+                      live[dest]);
+            }
+        }
+
+        for (int c = 0; c < clusters; ++c) {
+            int max_live = 0;
+            for (int s = 0; s < ii; ++s)
+                max_live = std::max(max_live, live[c][s]);
+            if (max_live > machine.regsPerCluster()) {
+                return fail("cluster ", c, " MaxLive ", max_live,
+                            " exceeds ", machine.regsPerCluster(),
+                            " registers");
+            }
+            if (max_live != ps.maxLive(c)) {
+                return fail("cluster ", c, " MaxLive recount ",
+                            max_live, " != schedule's ",
+                            ps.maxLive(c));
+            }
+        }
+        return true;
+    }
+};
+
+} // namespace
+
+ValidationResult
+validateSchedule(const Ddg &ddg, const MachineConfig &machine,
+                 const PartialSchedule &schedule)
+{
+    Checker checker(ddg, machine, schedule);
+    checker.checkPlacements() && checker.checkDependences() &&
+        checker.checkSpills() && checker.checkResources() &&
+        checker.checkRegisters();
+    return checker.result;
+}
+
+} // namespace gpsched::testing
