@@ -8,12 +8,15 @@
 
 #include <iostream>
 
+#include "common.hh"
+
 #include "core/pipeline.hh"
 #include "machine/configs.hh"
 #include "support/table.hh"
 #include "workload/specfp.hh"
 
 using namespace gpsched;
+using namespace gpsched::bench;
 
 namespace
 {
@@ -31,10 +34,11 @@ gpIpc(const std::vector<Program> &suite, const MachineConfig &m,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions options = parseBenchArgs(argc, argv);
     LatencyTable lat;
-    auto suite = specFp95Suite(lat);
+    auto suite = benchSuite(lat, options);
 
     TextTable table({"configuration", "delay+slack", "delay only",
                      "slack only", "neither"});

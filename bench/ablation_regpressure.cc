@@ -12,18 +12,22 @@
 
 #include <iostream>
 
+#include "common.hh"
+
 #include "core/pipeline.hh"
 #include "machine/configs.hh"
 #include "support/table.hh"
 #include "workload/specfp.hh"
 
 using namespace gpsched;
+using namespace gpsched::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions options = parseBenchArgs(argc, argv);
     LatencyTable lat;
-    auto suite = specFp95Suite(lat);
+    auto suite = benchSuite(lat, options);
 
     TextTable table({"configuration", "GP (paper)",
                      "GP register-aware", "gain"});

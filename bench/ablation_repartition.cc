@@ -9,18 +9,22 @@
 
 #include <iostream>
 
+#include "common.hh"
+
 #include "core/pipeline.hh"
 #include "machine/configs.hh"
 #include "support/table.hh"
 #include "workload/specfp.hh"
 
 using namespace gpsched;
+using namespace gpsched::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions options = parseBenchArgs(argc, argv);
     LatencyTable lat;
-    auto suite = specFp95Suite(lat);
+    auto suite = benchSuite(lat, options);
 
     TextTable table({"configuration", "policy", "mean IPC",
                      "sched (s)"});
@@ -50,10 +54,10 @@ main()
             table.addSeparator();
         first = false;
         for (const Policy &p : policies) {
-            LoopCompilerOptions options;
-            options.repartition = p.policy;
-            SuiteResult r =
-                compileSuite(suite, c.m, SchedulerKind::Gp, options);
+            LoopCompilerOptions compilerOptions;
+            compilerOptions.repartition = p.policy;
+            SuiteResult r = compileSuite(suite, c.m, SchedulerKind::Gp,
+                                         compilerOptions);
             table.addRow({c.name, p.name,
                           TextTable::num(r.meanIpc),
                           TextTable::num(r.schedSeconds, 3)});

@@ -11,6 +11,8 @@
 
 #include <iostream>
 
+#include "common.hh"
+
 #include "core/pipeline.hh"
 #include "graph/unroll.hh"
 #include "machine/configs.hh"
@@ -18,6 +20,7 @@
 #include "workload/specfp.hh"
 
 using namespace gpsched;
+using namespace gpsched::bench;
 
 namespace
 {
@@ -40,10 +43,11 @@ unrollSuite(const std::vector<Program> &suite, int factor)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions options = parseBenchArgs(argc, argv);
     LatencyTable lat;
-    auto suite = specFp95Suite(lat);
+    auto suite = benchSuite(lat, options);
 
     TextTable table({"configuration", "unroll 1", "unroll 2",
                      "unroll 3"});

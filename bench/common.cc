@@ -1,13 +1,52 @@
 #include "common.hh"
 
+#include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "core/metrics.hh"
 #include "machine/configs.hh"
 #include "support/table.hh"
+#include "workload/specfp.hh"
 
 namespace gpsched::bench
 {
+
+BenchOptions
+parseBenchArgs(int argc, char **argv)
+{
+    BenchOptions options;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--smoke") {
+            options.smoke = true;
+        } else {
+            std::cerr << argv[0] << ": unknown argument '" << arg
+                      << "' (only --smoke is recognized)\n";
+            std::exit(2);
+        }
+    }
+    return options;
+}
+
+std::vector<Program>
+benchSuite(const LatencyTable &lat, const BenchOptions &options)
+{
+    std::vector<Program> suite = specFp95Suite(lat);
+    if (!options.smoke)
+        return suite;
+    // Keep the first two programs with at most two loops each: still
+    // end-to-end through partitioner and scheduler, but milliseconds.
+    constexpr std::size_t maxPrograms = 2;
+    constexpr std::size_t maxLoops = 2;
+    if (suite.size() > maxPrograms)
+        suite.resize(maxPrograms);
+    for (Program &prog : suite) {
+        if (prog.loops.size() > maxLoops)
+            prog.loops.resize(maxLoops);
+    }
+    return suite;
+}
 
 FigurePanel
 runPanel(const std::vector<Program> &suite,

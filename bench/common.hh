@@ -17,6 +17,36 @@
 namespace gpsched::bench
 {
 
+/** Command-line options shared by every bench driver. */
+struct BenchOptions
+{
+    /**
+     * Smoke mode (--smoke): shrink the workload to a couple of
+     * loops so CTest can exercise the whole driver in well under a
+     * second. Numbers printed in this mode are meaningless; the mode
+     * exists so perf drivers cannot silently bit-rot.
+     */
+    bool smoke = false;
+
+    /** Iteration counts for repeated-measurement benches. */
+    int
+    reps(int full) const
+    {
+        return smoke ? 1 : full;
+    }
+};
+
+/** Parses argv; recognizes --smoke, fatal on anything else. */
+BenchOptions parseBenchArgs(int argc, char **argv);
+
+/**
+ * The bench workload: the full synthetic SPECfp95 suite, or a small
+ * deterministic subset of it (first programs, first loops) in smoke
+ * mode.
+ */
+std::vector<Program> benchSuite(const LatencyTable &lat,
+                                const BenchOptions &options);
+
 /** Per-program IPC of the four evaluated bars. */
 struct FigureRow
 {

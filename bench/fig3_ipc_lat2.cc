@@ -13,10 +13,11 @@ using namespace gpsched;
 using namespace gpsched::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions options = parseBenchArgs(argc, argv);
     LatencyTable lat;
-    auto suite = specFp95Suite(lat);
+    auto suite = benchSuite(lat, options);
     for (int regs : {32, 64}) {
         printPanel(runPanel(
             suite, fourClusterConfig(regs, 2),

@@ -7,12 +7,15 @@
 
 #include <iostream>
 
+#include "common.hh"
+
 #include "core/pipeline.hh"
 #include "machine/configs.hh"
 #include "support/table.hh"
 #include "workload/specfp.hh"
 
 using namespace gpsched;
+using namespace gpsched::bench;
 
 namespace
 {
@@ -39,10 +42,11 @@ averages(const std::vector<Program> &suite, const MachineConfig &m)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions options = parseBenchArgs(argc, argv);
     LatencyTable lat;
-    auto suite = specFp95Suite(lat);
+    auto suite = benchSuite(lat, options);
 
     TextTable table({"configuration", "buses", "URACAM", "Fixed",
                      "GP", "GP/URACAM"});

@@ -6,14 +6,16 @@
 
 #include <iostream>
 
+#include "common.hh"
 #include "machine/configs.hh"
 #include "support/table.hh"
 
 using namespace gpsched;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseBenchArgs(argc, argv); // accepts --smoke; this bench is already tiny
     TextTable configs({"configuration", "clusters", "INT/cl", "FP/cl",
                        "MEM/cl", "issue", "regs", "buses",
                        "bus lat"});

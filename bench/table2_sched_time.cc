@@ -8,6 +8,8 @@
 
 #include <iostream>
 
+#include "common.hh"
+
 #include "core/pipeline.hh"
 #include "machine/configs.hh"
 #include "support/table.hh"
@@ -15,6 +17,7 @@
 #include "workload/specfp.hh"
 
 using namespace gpsched;
+using namespace gpsched::bench;
 
 namespace
 {
@@ -41,11 +44,12 @@ averageSeconds(const std::vector<Program> &suite,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions options = parseBenchArgs(argc, argv);
     LatencyTable lat;
-    auto suite = specFp95Suite(lat);
-    const int reps = 10;
+    auto suite = benchSuite(lat, options);
+    const int reps = options.reps(10);
 
     TextTable table({"configuration", "URACAM (s)", "Fixed (s)",
                      "GP (s)", "URACAM/GP"});

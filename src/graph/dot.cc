@@ -25,7 +25,8 @@ writeDot(std::ostream &os, const Ddg &ddg,
     for (NodeId v = 0; v < ddg.numNodes(); ++v) {
         os << "  n" << v << " [label=\"" << ddg.node(v).label
            << "\\n" << toString(ddg.node(v).opcode) << "\"";
-        if (cluster_of) {
+        if (cluster_of && (*cluster_of)[v] >= 0) {
+            // Negative entries mean "unassigned": leave uncolored.
             int cl = (*cluster_of)[v];
             os << ", style=filled, fillcolor="
                << palette[cl % paletteSize];
@@ -43,7 +44,10 @@ writeDot(std::ostream &os, const Ddg &ddg,
             os << ", constraint=false, color=gray";
         if (!edge.isFlow())
             os << ", arrowhead=empty";
-        if (cluster_of &&
+        // Only draw a cut edge when both endpoints are assigned;
+        // negative entries mean "unassigned", not a real cluster.
+        if (cluster_of && (*cluster_of)[edge.src] >= 0 &&
+            (*cluster_of)[edge.dst] >= 0 &&
             (*cluster_of)[edge.src] != (*cluster_of)[edge.dst]) {
             os << ", style=dashed, penwidth=2";
         }

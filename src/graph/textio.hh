@@ -7,7 +7,7 @@
  * Format:
  *   ddg <name> <trip-count>
  *   node <opcode> [label]
- *   edge <src> <dst> <latency> <distance>
+ *   edge <src> <dst> <latency> <distance> [flow|order]
  *   end
  * '#' starts a comment; blank lines are ignored.
  */

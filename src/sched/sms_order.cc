@@ -125,9 +125,11 @@ smsOrder(const Ddg &ddg, const DdgAnalysis &analysis)
             set.nodes = std::move(augmented);
         }
         // Drop sets fully absorbed by earlier ones.
-        std::erase_if(sets, [](const NodeSet &s) {
-            return s.nodes.empty();
-        });
+        sets.erase(std::remove_if(sets.begin(), sets.end(),
+                                  [](const NodeSet &s) {
+                                      return s.nodes.empty();
+                                  }),
+                   sets.end());
         NodeSet residue;
         for (NodeId v = 0; v < n; ++v) {
             if (!assigned[v])

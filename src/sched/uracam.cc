@@ -20,7 +20,8 @@ bool
 ModuloScheduler::placeNode(PartialSchedule &ps, NodeId v,
                            ClusterPolicy policy,
                            const Partition *assignment,
-                           const DdgAnalysis &analysis) const
+                           const DdgAnalysis &analysis,
+                           bool deviate) const
 {
     const int ii = ps.ii();
     const LatencyTable &lat = machine_.latencies();
@@ -72,7 +73,9 @@ ModuloScheduler::placeNode(PartialSchedule &ps, NodeId v,
         to = std::min(late, early + span - 1);
     }
 
-    // Candidate clusters in policy order.
+    // Candidate clusters in policy order. A deviating PreferAssigned
+    // attempt considers everything but the assigned cluster (which
+    // the non-deviating attempts have already exhausted).
     std::vector<int> clusters;
     int assigned = -1;
     if (policy != ClusterPolicy::FreeChoice) {
@@ -84,18 +87,16 @@ ModuloScheduler::placeNode(PartialSchedule &ps, NodeId v,
       case ClusterPolicy::AssignedOnly:
         clusters.push_back(assigned);
         break;
-      case ClusterPolicy::PreferAssigned: {
-        PlacementPlan plan = ps.planInWindow(v, assigned, from, to);
-        if (plan.feasible) {
-            ps.apply(plan);
-            return true;
-        }
-        for (int c = 0; c < machine_.numClusters(); ++c) {
-            if (c != assigned)
-                clusters.push_back(c);
+      case ClusterPolicy::PreferAssigned:
+        if (!deviate) {
+            clusters.push_back(assigned);
+        } else {
+            for (int c = 0; c < machine_.numClusters(); ++c) {
+                if (c != assigned)
+                    clusters.push_back(c);
+            }
         }
         break;
-      }
       case ClusterPolicy::FreeChoice:
         for (int c = 0; c < machine_.numClusters(); ++c)
             clusters.push_back(c);
@@ -103,7 +104,9 @@ ModuloScheduler::placeNode(PartialSchedule &ps, NodeId v,
     }
 
     // One alternative partial schedule per cluster with resources;
-    // the figure of merit picks the winner (Section 3.3.3).
+    // the figure of merit picks the winner (Section 3.3.3). With a
+    // single candidate the figure of merit decides nothing, so the
+    // first feasible plan is committed directly.
     bool have_best = false;
     PlacementPlan best;
     FigureOfMerit best_fom;
@@ -111,6 +114,10 @@ ModuloScheduler::placeNode(PartialSchedule &ps, NodeId v,
         PlacementPlan plan = ps.planInWindow(v, c, from, to);
         if (!plan.feasible)
             continue;
+        if (clusters.size() == 1) {
+            ps.apply(plan);
+            return true;
+        }
         FigureOfMerit fom = ps.insertionFom(plan);
         if (!have_best ||
             FigureOfMerit::better(fom, best_fom, ps.fomThreshold())) {
@@ -135,22 +142,39 @@ ModuloScheduler::schedule(PartialSchedule &ps, ClusterPolicy policy,
     if (!analysis.feasible())
         return false;
 
+    // Section 3.3.3: after a placement the transformations are
+    // tried, most saturated resource first. They bail out
+    // immediately unless some resource is near critical, so the gate
+    // only skips provably fruitless scans.
+    auto relieveNearCritical = [&ps]() {
+        constexpr double nearCriticalPercent = 85.0;
+        if (ps.globalFom().maxComponent() >= nearCriticalPercent)
+            ps.runTransformations();
+    };
+
     std::vector<NodeId> order = smsOrder(ddg_, analysis);
     for (NodeId v : order) {
-        if (placeNode(ps, v, policy, assignment, analysis)) {
-            // Section 3.3.3: after a placement the transformations
-            // are tried, most saturated resource first. They bail
-            // out immediately unless some resource is near critical,
-            // so the gate only skips provably fruitless scans.
-            if (ps.globalFom().maxComponent() >= 85.0)
-                ps.runTransformations();
+        if (placeNode(ps, v, policy, assignment, analysis, false)) {
+            relieveNearCritical();
             continue;
         }
         // Shift pressure between resource types and retry once.
-        if (ps.runTransformations() == 0)
-            return false;
-        if (!placeNode(ps, v, policy, assignment, analysis))
-            return false;
+        if (ps.runTransformations() > 0 &&
+            placeNode(ps, v, policy, assignment, analysis, false))
+            continue;
+        // GP only: the assigned cluster is beyond saving at this II,
+        // so deviate from the partition (Figure 1, alternative (b)).
+        // Deviating last keeps every Fixed-schedulable trajectory
+        // intact, so GP can never do worse than Fixed at equal II on
+        // the same partition; the post-placement pass cannot perturb
+        // that trajectory either, because deviation only happens once
+        // it is already dead at this II.
+        if (policy == ClusterPolicy::PreferAssigned &&
+            placeNode(ps, v, policy, assignment, analysis, true)) {
+            relieveNearCritical();
+            continue;
+        }
+        return false;
     }
     return true;
 }

@@ -18,9 +18,14 @@
  *
  * Nodes are visited in SMS order. When a node fits in no allowed
  * cluster the Section-3.3.2 transformations are run to shift
- * pressure between resources and the node is retried once; if it
- * still fails the attempt is abandoned and the driver increases the
- * initiation interval.
+ * pressure between resources and the node is retried once. Under
+ * PreferAssigned a node that still fails then deviates to the other
+ * clusters; deviating only after the transform-and-retry step means
+ * the GP scheme follows the Fixed Partition trajectory exactly for
+ * as long as that trajectory is viable, so at an equal II on the
+ * same partition GP can never produce a worse schedule than Fixed.
+ * If every allowed cluster fails the attempt is abandoned and the
+ * driver increases the initiation interval.
  */
 
 #ifndef GPSCHED_SCHED_URACAM_HH
@@ -76,10 +81,16 @@ class ModuloScheduler
     const MachineConfig &machine_;
     ModuloSchedulerOptions options_;
 
-    /** Places one node; returns false when no cluster accepts it. */
+    /**
+     * Places one node; returns false when no allowed cluster accepts
+     * it. @p deviate widens a PreferAssigned attempt from the
+     * assigned cluster to every other cluster; it is ignored for the
+     * other policies.
+     */
     bool placeNode(PartialSchedule &ps, NodeId v, ClusterPolicy policy,
                    const Partition *assignment,
-                   const DdgAnalysis &analysis) const;
+                   const DdgAnalysis &analysis,
+                   bool deviate) const;
 };
 
 } // namespace gpsched
