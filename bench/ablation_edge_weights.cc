@@ -22,13 +22,14 @@ namespace
 {
 
 double
-gpIpc(const std::vector<Program> &suite, const MachineConfig &m,
-      bool delay_term, bool slack_term)
+gpIpc(Engine &engine, const std::vector<Program> &suite,
+      const MachineConfig &m, bool delay_term, bool slack_term)
 {
     LoopCompilerOptions options;
     options.partitioner.edgeWeights.useDelayTerm = delay_term;
     options.partitioner.edgeWeights.useSlackTerm = slack_term;
-    return compileSuite(suite, m, SchedulerKind::Gp, options).meanIpc;
+    return compileSuite(engine, suite, m, SchedulerKind::Gp, options)
+        .meanIpc;
 }
 
 } // namespace
@@ -39,6 +40,7 @@ main(int argc, char **argv)
     BenchOptions options = parseBenchArgs(argc, argv);
     LatencyTable lat;
     auto suite = benchSuite(lat, options);
+    Engine engine(options.engineOptions());
 
     TextTable table({"configuration", "delay+slack", "delay only",
                      "slack only", "neither"});
@@ -53,12 +55,13 @@ main(int argc, char **argv)
         {"4-cluster, 32 regs, lat 2", fourClusterConfig(32, 2)},
     };
     for (const Case &c : cases) {
-        table.addRow({c.name,
-                      TextTable::num(gpIpc(suite, c.m, true, true)),
-                      TextTable::num(gpIpc(suite, c.m, true, false)),
-                      TextTable::num(gpIpc(suite, c.m, false, true)),
-                      TextTable::num(gpIpc(suite, c.m, false,
-                                           false))});
+        table.addRow(
+            {c.name,
+             TextTable::num(gpIpc(engine, suite, c.m, true, true)),
+             TextTable::num(gpIpc(engine, suite, c.m, true, false)),
+             TextTable::num(gpIpc(engine, suite, c.m, false, true)),
+             TextTable::num(gpIpc(engine, suite, c.m, false,
+                                  false))});
     }
     table.print(std::cout,
                 "Ablation A: GP mean IPC vs edge-weight terms "

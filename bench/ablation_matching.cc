@@ -25,6 +25,7 @@ main(int argc, char **argv)
     BenchOptions options = parseBenchArgs(argc, argv);
     LatencyTable lat;
     auto suite = benchSuite(lat, options);
+    Engine engine(options.engineOptions());
 
     TextTable table({"configuration", "greedy heavy-edge",
                      "random maximal"});
@@ -44,10 +45,10 @@ main(int argc, char **argv)
         LoopCompilerOptions random;
         random.partitioner.matching = MatchingPolicy::RandomMaximal;
         double g =
-            compileSuite(suite, c.m, SchedulerKind::Gp, greedy)
+            compileSuite(engine, suite, c.m, SchedulerKind::Gp, greedy)
                 .meanIpc;
         double r =
-            compileSuite(suite, c.m, SchedulerKind::Gp, random)
+            compileSuite(engine, suite, c.m, SchedulerKind::Gp, random)
                 .meanIpc;
         table.addRow(
             {c.name, TextTable::num(g), TextTable::num(r)});

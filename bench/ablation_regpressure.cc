@@ -28,6 +28,7 @@ main(int argc, char **argv)
     BenchOptions options = parseBenchArgs(argc, argv);
     LatencyTable lat;
     auto suite = benchSuite(lat, options);
+    Engine engine(options.engineOptions());
 
     TextTable table({"configuration", "GP (paper)",
                      "GP register-aware", "gain"});
@@ -47,10 +48,10 @@ main(int argc, char **argv)
         LoopCompilerOptions aware;
         aware.partitioner.registerAware = true;
         double p =
-            compileSuite(suite, c.m, SchedulerKind::Gp, plain)
+            compileSuite(engine, suite, c.m, SchedulerKind::Gp, plain)
                 .meanIpc;
         double a =
-            compileSuite(suite, c.m, SchedulerKind::Gp, aware)
+            compileSuite(engine, suite, c.m, SchedulerKind::Gp, aware)
                 .meanIpc;
         table.addRow({c.name, TextTable::num(p), TextTable::num(a),
                       TextTable::num(100.0 * (a / p - 1.0), 1) +

@@ -25,6 +25,7 @@ main(int argc, char **argv)
     BenchOptions options = parseBenchArgs(argc, argv);
     LatencyTable lat;
     auto suite = benchSuite(lat, options);
+    Engine engine(options.engineOptions());
 
     TextTable table({"configuration", "policy", "mean IPC",
                      "sched (s)"});
@@ -56,7 +57,7 @@ main(int argc, char **argv)
         for (const Policy &p : policies) {
             LoopCompilerOptions compilerOptions;
             compilerOptions.repartition = p.policy;
-            SuiteResult r = compileSuite(suite, c.m, SchedulerKind::Gp,
+            SuiteResult r = compileSuite(engine, suite, c.m, SchedulerKind::Gp,
                                          compilerOptions);
             table.addRow({c.name, p.name,
                           TextTable::num(r.meanIpc),

@@ -48,6 +48,7 @@ main(int argc, char **argv)
     BenchOptions options = parseBenchArgs(argc, argv);
     LatencyTable lat;
     auto suite = benchSuite(lat, options);
+    Engine engine(options.engineOptions());
 
     TextTable table({"configuration", "unroll 1", "unroll 2",
                      "unroll 3"});
@@ -66,7 +67,7 @@ main(int argc, char **argv)
         for (int factor : {1, 2, 3}) {
             auto unrolled = unrollSuite(suite, factor);
             row.push_back(TextTable::num(
-                compileSuite(unrolled, c.m, SchedulerKind::Gp)
+                compileSuite(engine, unrolled, c.m, SchedulerKind::Gp)
                     .meanIpc));
         }
         table.addRow(row);

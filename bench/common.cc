@@ -1,32 +1,103 @@
 #include "common.hh"
 
+#include <cerrno>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "core/metrics.hh"
 #include "machine/configs.hh"
+#include "support/json.hh"
+#include "support/logging.hh"
 #include "support/table.hh"
 #include "workload/specfp.hh"
 
 namespace gpsched::bench
 {
 
+EngineOptions
+BenchOptions::engineOptions() const
+{
+    EngineOptions options;
+    options.jobs = jobs;
+    return options;
+}
+
+namespace
+{
+
+/** Strict non-negative integer parse; exits 2 on any other text. */
+int
+parseCount(const char *argv0, const std::string &flag,
+           const std::string &text)
+{
+    char *end = nullptr;
+    errno = 0;
+    long value = std::strtol(text.c_str(), &end, 10);
+    if (errno != 0 || end == text.c_str() || *end != '\0' ||
+        value < 0 || value > 1 << 20) {
+        std::cerr << argv0 << ": " << flag
+                  << " needs a non-negative integer, got '" << text
+                  << "'\n";
+        std::exit(2);
+    }
+    return static_cast<int>(value);
+}
+
+} // namespace
+
 BenchOptions
-parseBenchArgs(int argc, char **argv)
+parseBenchArgs(int argc, char **argv, bool json_supported)
 {
     BenchOptions options;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--smoke") {
             options.smoke = true;
+        } else if (arg == "--jobs") {
+            if (i + 1 >= argc) {
+                std::cerr << argv[0] << ": --jobs needs a count\n";
+                std::exit(2);
+            }
+            options.jobs = parseCount(argv[0], "--jobs", argv[++i]);
+        } else if (arg == "--json") {
+            if (!json_supported) {
+                std::cerr << argv[0]
+                          << ": this bench does not emit JSON\n";
+                std::exit(2);
+            }
+            if (i + 1 >= argc) {
+                std::cerr << argv[0] << ": --json needs a path\n";
+                std::exit(2);
+            }
+            options.jsonPath = argv[++i];
         } else {
             std::cerr << argv[0] << ": unknown argument '" << arg
-                      << "' (only --smoke is recognized)\n";
+                      << "' (--smoke, --jobs N"
+                      << (json_supported ? ", --json PATH" : "")
+                      << ")\n";
             std::exit(2);
         }
     }
     return options;
+}
+
+void
+withJsonStream(const BenchOptions &options,
+               const std::function<void(std::ostream &)> &emit)
+{
+    if (options.jsonPath.empty())
+        return;
+    if (options.jsonPath == "-") {
+        emit(std::cout);
+        return;
+    }
+    std::ofstream out(options.jsonPath);
+    if (!out)
+        GPSCHED_FATAL("cannot open JSON report path '",
+                      options.jsonPath, "'");
+    emit(out);
 }
 
 std::vector<Program>
@@ -49,7 +120,7 @@ benchSuite(const LatencyTable &lat, const BenchOptions &options)
 }
 
 FigurePanel
-runPanel(const std::vector<Program> &suite,
+runPanel(Engine &engine, const std::vector<Program> &suite,
          const MachineConfig &clustered, const std::string &title,
          const LoopCompilerOptions &options)
 {
@@ -57,15 +128,15 @@ runPanel(const std::vector<Program> &suite,
     panel.title = title;
 
     MachineConfig unified = unifiedConfig(clustered.totalRegs());
-    SuiteResult u =
-        compileSuite(suite, unified, SchedulerKind::Uracam, options);
-    SuiteResult ur =
-        compileSuite(suite, clustered, SchedulerKind::Uracam, options);
-    SuiteResult fx = compileSuite(suite, clustered,
+    SuiteResult u = compileSuite(engine, suite, unified,
+                                 SchedulerKind::Uracam, options);
+    SuiteResult ur = compileSuite(engine, suite, clustered,
+                                  SchedulerKind::Uracam, options);
+    SuiteResult fx = compileSuite(engine, suite, clustered,
                                   SchedulerKind::FixedPartition,
                                   options);
-    SuiteResult gp =
-        compileSuite(suite, clustered, SchedulerKind::Gp, options);
+    SuiteResult gp = compileSuite(engine, suite, clustered,
+                                  SchedulerKind::Gp, options);
 
     for (std::size_t i = 0; i < suite.size(); ++i) {
         FigureRow row;
@@ -114,6 +185,61 @@ printPanel(const FigurePanel &panel)
               << TextTable::num(ipcGainPercent(avg.gp, avg.unified),
                                 1)
               << "%\n\n";
+}
+
+void
+writePanelsJson(std::ostream &os, const std::string &benchName,
+                const std::vector<FigurePanel> &panels,
+                const Engine &engine)
+{
+    EngineStats stats = engine.stats();
+    JsonWriter json(os);
+    json.beginObject();
+    json.member("schemaVersion", 1);
+    json.member("bench", benchName);
+    json.beginArray("panels");
+    for (const FigurePanel &panel : panels) {
+        json.beginObject();
+        json.member("title", panel.title);
+        json.beginArray("rows");
+        for (const FigureRow &row : panel.rows) {
+            json.beginObject();
+            json.member("program", row.program);
+            json.member("unified", row.unified);
+            json.member("uracam", row.uracam);
+            json.member("fixed", row.fixed);
+            json.member("gp", row.gp);
+            json.endObject();
+        }
+        json.endArray();
+        json.beginObject("schedSeconds");
+        json.member("unified", panel.unifiedSeconds);
+        json.member("uracam", panel.uracamSeconds);
+        json.member("fixed", panel.fixedSeconds);
+        json.member("gp", panel.gpSeconds);
+        json.endObject();
+        json.endObject();
+    }
+    json.endArray();
+    json.beginObject("engine");
+    json.member("jobs", engine.jobs());
+    json.member("jobsSubmitted", stats.jobsSubmitted);
+    json.member("cacheHits", stats.cacheHits);
+    json.member("cacheMisses", stats.cacheMisses);
+    json.member("hitRate", stats.hitRate());
+    json.endObject();
+    json.endObject();
+}
+
+void
+emitPanelsJson(const BenchOptions &options,
+               const std::string &benchName,
+               const std::vector<FigurePanel> &panels,
+               const Engine &engine)
+{
+    withJsonStream(options, [&](std::ostream &os) {
+        writePanelsJson(os, benchName, panels, engine);
+    });
 }
 
 } // namespace gpsched::bench

@@ -3,15 +3,24 @@
  * Shared plumbing for the paper-reproduction bench harnesses: run
  * the synthetic SPECfp95 suite under every scheme on one machine and
  * print per-program IPC rows the way Figures 2/3 report them.
+ *
+ * Every driver accepts --smoke (tiny workload for CTest), --jobs N
+ * (worker threads of the batch engine; 0 = hardware concurrency) and
+ * --json PATH (machine-readable report; "-" for stdout). Panels run
+ * through one shared Engine so the fingerprint cache dedupes
+ * identical loop shapes across panels and schemes.
  */
 
 #ifndef GPSCHED_BENCH_COMMON_HH
 #define GPSCHED_BENCH_COMMON_HH
 
+#include <functional>
+#include <ostream>
 #include <string>
 #include <vector>
 
 #include "core/pipeline.hh"
+#include "engine/engine.hh"
 #include "machine/machine.hh"
 
 namespace gpsched::bench
@@ -28,16 +37,42 @@ struct BenchOptions
      */
     bool smoke = false;
 
+    /**
+     * Engine worker threads (--jobs N). 1 keeps the historical
+     * serial behaviour; 0 asks for hardware concurrency.
+     */
+    int jobs = 1;
+
+    /** Machine-readable report path (--json PATH; "-" = stdout). */
+    std::string jsonPath;
+
     /** Iteration counts for repeated-measurement benches. */
     int
     reps(int full) const
     {
         return smoke ? 1 : full;
     }
+
+    /** Engine configuration honouring --jobs. */
+    EngineOptions engineOptions() const;
 };
 
-/** Parses argv; recognizes --smoke, fatal on anything else. */
-BenchOptions parseBenchArgs(int argc, char **argv);
+/**
+ * Parses argv; recognizes --smoke/--jobs and, when @p json_supported,
+ * --json; exits with status 2 otherwise. Drivers that do not emit a
+ * report keep the default so a --json request fails loudly instead of
+ * silently writing nothing.
+ */
+BenchOptions parseBenchArgs(int argc, char **argv,
+                            bool json_supported = false);
+
+/**
+ * Runs @p emit against the --json destination: a file stream for a
+ * path, std::cout for "-", not at all when --json was absent. Fatal
+ * when the file cannot be opened.
+ */
+void withJsonStream(const BenchOptions &options,
+                    const std::function<void(std::ostream &)> &emit);
 
 /**
  * The bench workload: the full synthetic SPECfp95 suite, or a small
@@ -71,15 +106,34 @@ struct FigurePanel
 /**
  * Compiles @p suite with the unified baseline (same total registers)
  * and with URACAM / Fixed / GP on @p clustered, producing the rows
- * of one Figure-2/3 panel.
+ * of one Figure-2/3 panel. All four compilations run as batches on
+ * @p engine.
  */
-FigurePanel runPanel(const std::vector<Program> &suite,
+FigurePanel runPanel(Engine &engine,
+                     const std::vector<Program> &suite,
                      const MachineConfig &clustered,
                      const std::string &title,
                      const LoopCompilerOptions &options = {});
 
 /** Prints @p panel as an aligned table with a gain summary. */
 void printPanel(const FigurePanel &panel);
+
+/**
+ * Writes @p panels as a JSON report (schemaVersion, per-panel rows,
+ * engine/cache statistics) to @p os.
+ */
+void writePanelsJson(std::ostream &os, const std::string &benchName,
+                     const std::vector<FigurePanel> &panels,
+                     const Engine &engine);
+
+/**
+ * Honors --json: writes the report to options.jsonPath ("-" =
+ * stdout, empty = no-op). Fatal when the file cannot be opened.
+ */
+void emitPanelsJson(const BenchOptions &options,
+                    const std::string &benchName,
+                    const std::vector<FigurePanel> &panels,
+                    const Engine &engine);
 
 } // namespace gpsched::bench
 

@@ -3,7 +3,9 @@
  * Regenerates paper Figure 2: IPC of unified / URACAM / Fixed
  * Partition / GP per SPECfp95 program on the 2-cluster (top) and
  * 4-cluster (bottom) machines with one 1-cycle bus, at 32 and 64
- * total registers.
+ * total registers. All panels run through one batch engine
+ * (--jobs N) whose fingerprint cache dedupes repeated loop shapes;
+ * --json PATH emits the machine-readable report.
  */
 
 #include "common.hh"
@@ -16,21 +18,27 @@ using namespace gpsched::bench;
 int
 main(int argc, char **argv)
 {
-    BenchOptions options = parseBenchArgs(argc, argv);
+    BenchOptions options =
+        parseBenchArgs(argc, argv, /*json_supported=*/true);
     LatencyTable lat;
     auto suite = benchSuite(lat, options);
+    Engine engine(options.engineOptions());
 
+    std::vector<FigurePanel> panels;
     for (int regs : {32, 64}) {
-        printPanel(runPanel(
-            suite, twoClusterConfig(regs, 1),
+        panels.push_back(runPanel(
+            engine, suite, twoClusterConfig(regs, 1),
             "Figure 2(a): IPC, 2-cluster, 1 bus (latency 1), " +
                 std::to_string(regs) + " registers"));
     }
     for (int regs : {32, 64}) {
-        printPanel(runPanel(
-            suite, fourClusterConfig(regs, 1),
+        panels.push_back(runPanel(
+            engine, suite, fourClusterConfig(regs, 1),
             "Figure 2(b): IPC, 4-cluster, 1 bus (latency 1), " +
                 std::to_string(regs) + " registers"));
     }
+    for (const FigurePanel &panel : panels)
+        printPanel(panel);
+    emitPanelsJson(options, "fig2_ipc_lat1", panels, engine);
     return 0;
 }

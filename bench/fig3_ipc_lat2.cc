@@ -2,7 +2,8 @@
  * @file
  * Regenerates paper Figure 3: IPC of unified / URACAM / Fixed
  * Partition / GP on the 4-cluster machine with one 2-cycle bus, at
- * 32 and 64 total registers.
+ * 32 and 64 total registers. Runs on the batch engine (--jobs N);
+ * --json PATH emits the machine-readable report.
  */
 
 #include "common.hh"
@@ -15,14 +16,21 @@ using namespace gpsched::bench;
 int
 main(int argc, char **argv)
 {
-    BenchOptions options = parseBenchArgs(argc, argv);
+    BenchOptions options =
+        parseBenchArgs(argc, argv, /*json_supported=*/true);
     LatencyTable lat;
     auto suite = benchSuite(lat, options);
+    Engine engine(options.engineOptions());
+
+    std::vector<FigurePanel> panels;
     for (int regs : {32, 64}) {
-        printPanel(runPanel(
-            suite, fourClusterConfig(regs, 2),
+        panels.push_back(runPanel(
+            engine, suite, fourClusterConfig(regs, 2),
             "Figure 3: IPC, 4-cluster, 1 bus (latency 2), " +
                 std::to_string(regs) + " registers"));
     }
+    for (const FigurePanel &panel : panels)
+        printPanel(panel);
+    emitPanelsJson(options, "fig3_ipc_lat2", panels, engine);
     return 0;
 }

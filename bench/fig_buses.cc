@@ -28,14 +28,16 @@ struct Row
 };
 
 Row
-averages(const std::vector<Program> &suite, const MachineConfig &m)
+averages(Engine &engine, const std::vector<Program> &suite,
+         const MachineConfig &m)
 {
     Row row;
     row.uracam =
-        compileSuite(suite, m, SchedulerKind::Uracam).meanIpc;
-    row.fixed =
-        compileSuite(suite, m, SchedulerKind::FixedPartition).meanIpc;
-    row.gp = compileSuite(suite, m, SchedulerKind::Gp).meanIpc;
+        compileSuite(engine, suite, m, SchedulerKind::Uracam).meanIpc;
+    row.fixed = compileSuite(engine, suite, m,
+                             SchedulerKind::FixedPartition)
+                    .meanIpc;
+    row.gp = compileSuite(engine, suite, m, SchedulerKind::Gp).meanIpc;
     return row;
 }
 
@@ -47,6 +49,7 @@ main(int argc, char **argv)
     BenchOptions options = parseBenchArgs(argc, argv);
     LatencyTable lat;
     auto suite = benchSuite(lat, options);
+    Engine engine(options.engineOptions());
 
     TextTable table({"configuration", "buses", "URACAM", "Fixed",
                      "GP", "GP/URACAM"});
@@ -72,7 +75,7 @@ main(int argc, char **argv)
                 c.clusters == 2
                     ? twoClusterConfig(c.regs, c.bus_lat, buses)
                     : fourClusterConfig(c.regs, c.bus_lat, buses);
-            Row row = averages(suite, m);
+            Row row = averages(engine, suite, m);
             table.addRow({c.name, std::to_string(buses),
                           TextTable::num(row.uracam),
                           TextTable::num(row.fixed),

@@ -6,12 +6,15 @@
  * because a single suite pass is fast on modern hardware.
  */
 
+#include <fstream>
 #include <iostream>
 
 #include "common.hh"
 
 #include "core/pipeline.hh"
 #include "machine/configs.hh"
+#include "support/json.hh"
+#include "support/logging.hh"
 #include "support/table.hh"
 #include "support/timer.hh"
 #include "workload/specfp.hh"
@@ -41,16 +44,54 @@ averageSeconds(const std::vector<Program> &suite,
     return timer.elapsedSeconds() / reps;
 }
 
+struct MeasuredCase
+{
+    std::string name;
+    double uracamSeconds = 0.0;
+    double fixedSeconds = 0.0;
+    double gpSeconds = 0.0;
+};
+
+void
+writeJson(std::ostream &os, const std::vector<MeasuredCase> &rows,
+          int reps)
+{
+    JsonWriter json(os);
+    json.beginObject();
+    json.member("schemaVersion", 1);
+    json.member("bench", "table2_sched_time");
+    json.member("reps", reps);
+    json.beginArray("rows");
+    for (const MeasuredCase &row : rows) {
+        json.beginObject();
+        json.member("configuration", row.name);
+        json.member("uracamSeconds", row.uracamSeconds);
+        json.member("fixedSeconds", row.fixedSeconds);
+        json.member("gpSeconds", row.gpSeconds);
+        json.member("uracamOverGp", row.gpSeconds > 0
+                                        ? row.uracamSeconds /
+                                              row.gpSeconds
+                                        : 0.0);
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    BenchOptions options = parseBenchArgs(argc, argv);
+    BenchOptions options =
+        parseBenchArgs(argc, argv, /*json_supported=*/true);
     LatencyTable lat;
     auto suite = benchSuite(lat, options);
     const int reps = options.reps(10);
 
+    // Measurements stay serial regardless of --jobs: the Table-2
+    // metric is scheduling CPU time of one compiler instance, which
+    // concurrency and caching would only distort.
     TextTable table({"configuration", "URACAM (s)", "Fixed (s)",
                      "GP (s)", "URACAM/GP"});
     struct Case
@@ -66,18 +107,29 @@ main(int argc, char **argv)
         {"4-cluster, 32 regs, bus lat 2", fourClusterConfig(32, 2)},
         {"4-cluster, 64 regs, bus lat 2", fourClusterConfig(64, 2)},
     };
+    std::vector<MeasuredCase> measured;
     for (const Case &c : cases) {
-        double ur =
+        MeasuredCase row;
+        row.name = c.name;
+        row.uracamSeconds =
             averageSeconds(suite, c.m, SchedulerKind::Uracam, reps);
-        double fx = averageSeconds(suite, c.m,
-                                   SchedulerKind::FixedPartition,
-                                   reps);
-        double gp = averageSeconds(suite, c.m, SchedulerKind::Gp,
-                                   reps);
-        table.addRow({c.name, TextTable::num(ur, 3),
-                      TextTable::num(fx, 3), TextTable::num(gp, 3),
-                      TextTable::num(gp > 0 ? ur / gp : 0.0, 2)});
+        row.fixedSeconds = averageSeconds(
+            suite, c.m, SchedulerKind::FixedPartition, reps);
+        row.gpSeconds =
+            averageSeconds(suite, c.m, SchedulerKind::Gp, reps);
+        table.addRow({row.name, TextTable::num(row.uracamSeconds, 3),
+                      TextTable::num(row.fixedSeconds, 3),
+                      TextTable::num(row.gpSeconds, 3),
+                      TextTable::num(row.gpSeconds > 0
+                                         ? row.uracamSeconds /
+                                               row.gpSeconds
+                                         : 0.0,
+                                     2)});
+        measured.push_back(row);
     }
+    withJsonStream(options, [&](std::ostream &os) {
+        writeJson(os, measured, reps);
+    });
     table.print(std::cout,
                 "Table 2: average CPU seconds to schedule the suite "
                 "(mean of " +

@@ -1,20 +1,23 @@
 #include "core/pipeline.hh"
 
 #include "core/metrics.hh"
+#include "engine/engine.hh"
 
 namespace gpsched
 {
 
-ProgramResult
-compileProgram(const Program &program, const MachineConfig &machine,
-               SchedulerKind kind, const LoopCompilerOptions &options)
+namespace
 {
-    LoopCompiler compiler(machine, kind, options);
+
+/** Folds per-loop results (in loop order) into a ProgramResult. */
+ProgramResult
+aggregateProgram(const Program &program,
+                 std::vector<CompiledLoop> loops)
+{
     ProgramResult result;
     result.name = program.name;
-    result.loops.reserve(program.loops.size());
-    for (const Ddg &loop : program.loops) {
-        CompiledLoop compiled = compiler.compile(loop);
+    result.loops.reserve(loops.size());
+    for (CompiledLoop &compiled : loops) {
         result.totalOps += compiled.ops;
         result.totalCycles += compiled.cycles;
         result.schedSeconds += compiled.schedSeconds;
@@ -26,23 +29,83 @@ compileProgram(const Program &program, const MachineConfig &machine,
     return result;
 }
 
+std::vector<EngineJob>
+jobsFor(const Program &program, const MachineConfig &machine,
+        SchedulerKind kind, const LoopCompilerOptions &options)
+{
+    std::vector<EngineJob> jobs;
+    jobs.reserve(program.loops.size());
+    for (const Ddg &loop : program.loops)
+        jobs.push_back(EngineJob{&loop, &machine, kind, options});
+    return jobs;
+}
+
+} // namespace
+
+ProgramResult
+compileProgram(Engine &engine, const Program &program,
+               const MachineConfig &machine, SchedulerKind kind,
+               const LoopCompilerOptions &options)
+{
+    return aggregateProgram(
+        program,
+        engine.compileBatch(jobsFor(program, machine, kind, options)));
+}
+
 SuiteResult
-compileSuite(const std::vector<Program> &suite,
+compileSuite(Engine &engine, const std::vector<Program> &suite,
              const MachineConfig &machine, SchedulerKind kind,
              const LoopCompilerOptions &options)
 {
+    // One flat batch over every loop of every program, so parallelism
+    // spans program boundaries instead of draining per program.
+    std::vector<EngineJob> jobs;
+    for (const Program &program : suite) {
+        std::vector<EngineJob> programJobs =
+            jobsFor(program, machine, kind, options);
+        jobs.insert(jobs.end(), programJobs.begin(),
+                    programJobs.end());
+    }
+    std::vector<CompiledLoop> compiled = engine.compileBatch(jobs);
+
     SuiteResult result;
     result.programs.reserve(suite.size());
     std::vector<double> ipcs;
+    std::size_t next = 0;
     for (const Program &program : suite) {
+        std::vector<CompiledLoop> loops(
+            std::make_move_iterator(compiled.begin() +
+                                    static_cast<std::ptrdiff_t>(next)),
+            std::make_move_iterator(
+                compiled.begin() +
+                static_cast<std::ptrdiff_t>(next +
+                                            program.loops.size())));
+        next += program.loops.size();
         ProgramResult pr =
-            compileProgram(program, machine, kind, options);
+            aggregateProgram(program, std::move(loops));
         ipcs.push_back(pr.ipc);
         result.schedSeconds += pr.schedSeconds;
         result.programs.push_back(std::move(pr));
     }
     result.meanIpc = averageIpc(ipcs);
     return result;
+}
+
+ProgramResult
+compileProgram(const Program &program, const MachineConfig &machine,
+               SchedulerKind kind, const LoopCompilerOptions &options)
+{
+    Engine engine(serialEngineOptions());
+    return compileProgram(engine, program, machine, kind, options);
+}
+
+SuiteResult
+compileSuite(const std::vector<Program> &suite,
+             const MachineConfig &machine, SchedulerKind kind,
+             const LoopCompilerOptions &options)
+{
+    Engine engine(serialEngineOptions());
+    return compileSuite(engine, suite, machine, kind, options);
 }
 
 } // namespace gpsched

@@ -5,6 +5,15 @@
  * way the paper's evaluation does (Section 4.1). A "program" stands
  * for one SPECfp95 benchmark: a set of profiled innermost-loop DDGs
  * that cover ~95% of its execution time.
+ *
+ * All compilation routes through the batch engine (engine/engine.hh).
+ * The Engine-taking overloads run the loops of a program — and, for
+ * compileSuite, of the whole suite — as one concurrent batch and
+ * reuse the engine's fingerprint cache; the engine-less overloads
+ * keep the historical serial semantics by running on a private
+ * one-job, cache-less engine. Aggregates are computed from results
+ * in submission order, so every overload is bit-deterministic and
+ * independent of the worker count.
  */
 
 #ifndef GPSCHED_CORE_PIPELINE_HH
@@ -20,6 +29,8 @@
 
 namespace gpsched
 {
+
+class Engine;
 
 /** One benchmark: a named set of profiled innermost loops. */
 struct Program
@@ -62,14 +73,27 @@ struct SuiteResult
     double schedSeconds = 0.0;
 };
 
-/** Compiles every loop of @p program. */
+/** Compiles every loop of @p program serially (one-job engine). */
 ProgramResult compileProgram(const Program &program,
                              const MachineConfig &machine,
                              SchedulerKind kind,
                              const LoopCompilerOptions &options = {});
 
-/** Compiles every program of @p suite. */
+/** Compiles every program of @p suite serially (one-job engine). */
 SuiteResult compileSuite(const std::vector<Program> &suite,
+                         const MachineConfig &machine,
+                         SchedulerKind kind,
+                         const LoopCompilerOptions &options = {});
+
+/** Compiles @p program's loops as one batch on @p engine. */
+ProgramResult compileProgram(Engine &engine, const Program &program,
+                             const MachineConfig &machine,
+                             SchedulerKind kind,
+                             const LoopCompilerOptions &options = {});
+
+/** Compiles every loop of every program as one batch on @p engine. */
+SuiteResult compileSuite(Engine &engine,
+                         const std::vector<Program> &suite,
                          const MachineConfig &machine,
                          SchedulerKind kind,
                          const LoopCompilerOptions &options = {});

@@ -1,0 +1,107 @@
+#include "engine/engine.hh"
+
+#include "support/logging.hh"
+
+namespace gpsched
+{
+
+EngineOptions
+serialEngineOptions()
+{
+    EngineOptions options;
+    options.jobs = 1;
+    options.cacheEnabled = false;
+    return options;
+}
+
+double
+EngineStats::hitRate() const
+{
+    return jobsSubmitted == 0
+               ? 0.0
+               : static_cast<double>(cacheHits) /
+                     static_cast<double>(jobsSubmitted);
+}
+
+namespace
+{
+
+int
+effectiveJobs(int requested)
+{
+    GPSCHED_ASSERT(requested >= 0, "negative job count ", requested);
+    return requested == 0 ? ThreadPool::hardwareConcurrency()
+                          : requested;
+}
+
+} // namespace
+
+Engine::Engine(EngineOptions options)
+    : options_(options), jobs_(effectiveJobs(options.jobs)),
+      // A 1-job engine runs inline on the submitting thread.
+      pool_(jobs_ <= 1 ? 0 : jobs_),
+      cache_(options.cacheCapacity, options.cacheShards)
+{
+}
+
+CompiledLoop
+Engine::runJob(const EngineJob &job)
+{
+    GPSCHED_ASSERT(job.loop != nullptr && job.machine != nullptr,
+                   "engine job without loop or machine");
+    jobsSubmitted_.fetch_add(1, std::memory_order_relaxed);
+
+    if (!options_.cacheEnabled) {
+        LoopCompiler compiler(*job.machine, job.kind, job.options);
+        return compiler.compile(*job.loop);
+    }
+
+    LoopKey key =
+        makeLoopKey(*job.loop, *job.machine, job.kind, job.options);
+    CompiledLoop result;
+    if (cache_.lookup(key, result)) {
+        cacheHits_.fetch_add(1, std::memory_order_relaxed);
+        // Names are excluded from the fingerprint; report the
+        // requesting loop's name, not the first-seen shape's.
+        result.loopName = job.loop->name();
+        return result;
+    }
+    cacheMisses_.fetch_add(1, std::memory_order_relaxed);
+
+    LoopCompiler compiler(*job.machine, job.kind, job.options);
+    result = compiler.compile(*job.loop);
+    cache_.insert(key, result);
+    return result;
+}
+
+CompiledLoop
+Engine::compileOne(const EngineJob &job)
+{
+    return runJob(job);
+}
+
+std::vector<CompiledLoop>
+Engine::compileBatch(const std::vector<EngineJob> &batch)
+{
+    std::vector<CompiledLoop> results(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        pool_.submit([this, &batch, &results, i] {
+            results[i] = runJob(batch[i]);
+        });
+    }
+    pool_.wait();
+    return results;
+}
+
+EngineStats
+Engine::stats() const
+{
+    EngineStats stats;
+    stats.jobsSubmitted =
+        jobsSubmitted_.load(std::memory_order_relaxed);
+    stats.cacheHits = cacheHits_.load(std::memory_order_relaxed);
+    stats.cacheMisses = cacheMisses_.load(std::memory_order_relaxed);
+    return stats;
+}
+
+} // namespace gpsched

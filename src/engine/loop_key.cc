@@ -1,0 +1,142 @@
+#include "engine/loop_key.hh"
+
+#include <cstring>
+#include <type_traits>
+
+namespace gpsched
+{
+
+namespace
+{
+
+/**
+ * Compact canonical encoder. Integers are rendered in decimal with a
+ * one-character tag and a separator, so no two distinct field
+ * sequences can collide; doubles are encoded via their IEEE-754 bit
+ * pattern to stay exact.
+ */
+class Encoder
+{
+  public:
+    template <typename Int>
+    Encoder &
+    field(char tag, Int value,
+          std::enable_if_t<std::is_integral_v<Int>> * = nullptr)
+    {
+        out_ += tag;
+        out_ += std::to_string(value);
+        out_ += ';';
+        return *this;
+    }
+
+    Encoder &
+    field(char tag, double value)
+    {
+        std::uint64_t bits = 0;
+        static_assert(sizeof(bits) == sizeof(value),
+                      "double is not 64-bit");
+        std::memcpy(&bits, &value, sizeof(bits));
+        out_ += tag;
+        out_ += std::to_string(bits);
+        out_ += ';';
+        return *this;
+    }
+
+    std::string
+    take()
+    {
+        return std::move(out_);
+    }
+
+  private:
+    std::string out_;
+};
+
+void
+encodeDdg(Encoder &enc, const Ddg &ddg)
+{
+    enc.field('n', ddg.numNodes());
+    enc.field('t', ddg.tripCount());
+    for (NodeId v = 0; v < ddg.numNodes(); ++v)
+        enc.field('o', static_cast<int>(ddg.node(v).opcode));
+    enc.field('e', ddg.numEdges());
+    for (EdgeId e = 0; e < ddg.numEdges(); ++e) {
+        const DdgEdge &edge = ddg.edge(e);
+        enc.field('s', edge.src);
+        enc.field('d', edge.dst);
+        enc.field('l', edge.latency);
+        enc.field('i', edge.distance);
+        enc.field('k', static_cast<int>(edge.kind));
+    }
+}
+
+void
+encodeMachine(Encoder &enc, const MachineConfig &machine)
+{
+    enc.field('C', machine.numClusters());
+    for (int k = 0; k < numFuClasses; ++k)
+        enc.field('F', machine.fuPerCluster(static_cast<FuClass>(k)));
+    enc.field('R', machine.totalRegs());
+    enc.field('B', machine.numBuses());
+    enc.field('L', machine.busLatency());
+    const LatencyTable &lat = machine.latencies();
+    for (int op = 0; op < numOpcodes; ++op) {
+        const OpTiming &t = lat.timing(static_cast<Opcode>(op));
+        enc.field('a', t.latency);
+        enc.field('u', t.occupancy);
+    }
+}
+
+void
+encodeOptions(Encoder &enc, SchedulerKind kind,
+              const LoopCompilerOptions &options)
+{
+    enc.field('K', static_cast<int>(kind));
+    enc.field('r', static_cast<int>(options.repartition));
+    enc.field('f', options.fomThreshold);
+    enc.field('m', options.maxIiSlack);
+    enc.field('h', options.maxIiHardCap);
+
+    const GpPartitionerOptions &part = options.partitioner;
+    enc.field('M', static_cast<int>(part.matching));
+    enc.field('w', part.edgeWeights.useDelayTerm ? 1 : 0);
+    enc.field('W', part.edgeWeights.useSlackTerm ? 1 : 0);
+    enc.field('b', part.refine.balancePass ? 1 : 0);
+    enc.field('E', part.refine.edgeImpactPass ? 1 : 0);
+    enc.field('g', part.refine.registerAware ? 1 : 0);
+    enc.field('p', part.refine.prescanTopK);
+    enc.field('c', part.refine.maxChangesPerLevel);
+    enc.field('x', part.refineEnabled ? 1 : 0);
+    enc.field('G', part.registerAware ? 1 : 0);
+    enc.field('S', static_cast<std::int64_t>(part.seed));
+}
+
+} // namespace
+
+std::uint64_t
+fnv1a64(const std::string &bytes)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (unsigned char c : bytes) {
+        hash ^= c;
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+LoopKey
+makeLoopKey(const Ddg &ddg, const MachineConfig &machine,
+            SchedulerKind kind, const LoopCompilerOptions &options)
+{
+    Encoder enc;
+    encodeDdg(enc, ddg);
+    encodeMachine(enc, machine);
+    encodeOptions(enc, kind, options);
+
+    LoopKey key;
+    key.canonical = enc.take();
+    key.digest = fnv1a64(key.canonical);
+    return key;
+}
+
+} // namespace gpsched

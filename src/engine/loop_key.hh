@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Canonical fingerprint of one compilation job: everything that can
+ * influence the schedule of a loop — DDG structure (opcodes, edges,
+ * trip count), machine configuration (clusters, functional units,
+ * registers, buses, the whole latency table), scheduler kind, and
+ * every LoopCompilerOptions knob — encoded into one canonical string.
+ *
+ * Loop and node *names* are deliberately excluded: two structurally
+ * identical loops compile to identical schedules, and excluding names
+ * is what lets the result cache dedupe repeated loop shapes across
+ * programs, schemes and sweeps. Equality compares the canonical
+ * encoding byte for byte, so a cache keyed on LoopKey can never
+ * return a wrong result due to a hash collision; the 64-bit digest
+ * exists for shard selection and hash-table bucketing only.
+ */
+
+#ifndef GPSCHED_ENGINE_LOOP_KEY_HH
+#define GPSCHED_ENGINE_LOOP_KEY_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "core/gp_scheduler.hh"
+#include "graph/ddg.hh"
+#include "machine/machine.hh"
+
+namespace gpsched
+{
+
+/** Value key identifying one (loop, machine, scheme, options) job. */
+struct LoopKey
+{
+    /** Exact canonical encoding; equality of jobs iff equality here. */
+    std::string canonical;
+
+    /** FNV-1a digest of @c canonical (sharding / bucketing). */
+    std::uint64_t digest = 0;
+
+    bool operator==(const LoopKey &other) const
+    {
+        return digest == other.digest && canonical == other.canonical;
+    }
+    bool operator!=(const LoopKey &other) const
+    {
+        return !(*this == other);
+    }
+};
+
+/** Builds the fingerprint of one compilation job. */
+LoopKey makeLoopKey(const Ddg &ddg, const MachineConfig &machine,
+                    SchedulerKind kind,
+                    const LoopCompilerOptions &options);
+
+/** FNV-1a over @p bytes (exposed for tests). */
+std::uint64_t fnv1a64(const std::string &bytes);
+
+} // namespace gpsched
+
+namespace std
+{
+template <> struct hash<gpsched::LoopKey>
+{
+    std::size_t operator()(const gpsched::LoopKey &key) const
+    {
+        return static_cast<std::size_t>(key.digest);
+    }
+};
+} // namespace std
+
+#endif // GPSCHED_ENGINE_LOOP_KEY_HH

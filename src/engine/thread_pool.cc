@@ -1,0 +1,86 @@
+#include "engine/thread_pool.hh"
+
+#include "support/logging.hh"
+
+namespace gpsched
+{
+
+ThreadPool::ThreadPool(int num_threads)
+{
+    GPSCHED_ASSERT(num_threads >= 0,
+                   "negative thread count ", num_threads);
+    workers_.reserve(static_cast<std::size_t>(num_threads));
+    for (int i = 0; i < num_threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        allDone_.wait(lock, [this] { return unfinished_ == 0; });
+        stopping_ = true;
+    }
+    workReady_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    if (workers_.empty()) {
+        task();
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        GPSCHED_ASSERT(!stopping_, "submit on a stopping pool");
+        queue_.push_back(std::move(task));
+        ++unfinished_;
+    }
+    workReady_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    if (workers_.empty())
+        return;
+    std::unique_lock<std::mutex> lock(mutex_);
+    allDone_.wait(lock, [this] { return unfinished_ == 0; });
+}
+
+int
+ThreadPool::hardwareConcurrency()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workReady_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return; // stopping_ and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --unfinished_;
+            if (unfinished_ == 0)
+                allDone_.notify_all();
+        }
+    }
+}
+
+} // namespace gpsched

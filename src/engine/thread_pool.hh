@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fixed-size worker pool with a FIFO task queue, the execution
+ * substrate of the batch compilation engine. Tasks are plain
+ * callables; completion is observed with wait(), which blocks until
+ * every submitted task has finished. A pool constructed with zero
+ * threads runs tasks inline on the submitting thread, so serial
+ * paths (jobs=1) pay no thread or queue overhead and stay trivially
+ * deterministic.
+ */
+
+#ifndef GPSCHED_ENGINE_THREAD_POOL_HH
+#define GPSCHED_ENGINE_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gpsched
+{
+
+/** FIFO thread pool; destruction drains the queue and joins. */
+class ThreadPool
+{
+  public:
+    /**
+     * Spawns @p num_threads workers. 0 selects inline execution:
+     * submit() runs the task on the calling thread before returning.
+     */
+    explicit ThreadPool(int num_threads);
+
+    /** Waits for outstanding tasks, then joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueues @p task (or runs it inline for a 0-thread pool). */
+    void submit(std::function<void()> task);
+
+    /** Blocks until every submitted task has completed. */
+    void wait();
+
+    /** Worker count (0 for an inline pool). */
+    int numThreads() const
+    {
+        return static_cast<int>(workers_.size());
+    }
+
+    /**
+     * Threads the hardware reports, never less than 1. The engine's
+     * default job count.
+     */
+    static int hardwareConcurrency();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    mutable std::mutex mutex_;
+    std::condition_variable workReady_;
+    std::condition_variable allDone_;
+    std::size_t unfinished_ = 0; ///< queued + currently running
+    bool stopping_ = false;
+};
+
+} // namespace gpsched
+
+#endif // GPSCHED_ENGINE_THREAD_POOL_HH

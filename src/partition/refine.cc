@@ -1,7 +1,6 @@
 #include "partition/refine.hh"
 
 #include <algorithm>
-#include <set>
 
 #include "support/logging.hh"
 
@@ -36,18 +35,20 @@ PartitionRefiner::PartitionRefiner(
                    "static weight vector size mismatch");
 }
 
-int
-PartitionRefiner::macroOccupancy(const CoarseLevel &level, int macro,
-                                 FuClass cls) const
+void
+PartitionRefiner::computeMacroOccupancy(const CoarseLevel &level) const
 {
     const LatencyTable &lat = machine_.latencies();
-    int occ = 0;
-    for (NodeId v : level.members[macro]) {
-        Opcode op = ddg_.node(v).opcode;
-        if (fuClassOf(op) == cls)
-            occ += lat.occupancy(op);
+    macroOcc_.assign(
+        static_cast<std::size_t>(level.numNodes()) * numFuClasses, 0);
+    for (int m = 0; m < level.numNodes(); ++m) {
+        for (NodeId v : level.members[m]) {
+            Opcode op = ddg_.node(v).opcode;
+            macroOcc_[static_cast<std::size_t>(m) * numFuClasses +
+                      static_cast<int>(fuClassOf(op))] +=
+                lat.occupancy(op);
+        }
     }
-    return occ;
 }
 
 int
@@ -154,7 +155,7 @@ PartitionRefiner::runBalancePass(const CoarseLevel &level,
                 continue;
             if (macroCluster(level, m, partition) != bestC)
                 continue;
-            int mocc = macroOccupancy(level, m, cls);
+            int mocc = macroOccupancy(m, cls);
             if (mocc == 0)
                 continue;
             for (int c2 = 0; c2 < clusters; ++c2) {
@@ -166,8 +167,8 @@ PartitionRefiner::runBalancePass(const CoarseLevel &level,
                 for (int k = 0; ok && k < numFuClasses; ++k) {
                     if (!considered[k] || k == bestK)
                         continue;
-                    int mk = macroOccupancy(level, m,
-                                            static_cast<FuClass>(k));
+                    int mk = macroOccupancy(
+                        m, static_cast<FuClass>(k));
                     ok = occ[c2][k] + mk <= slots(k);
                 }
                 if (!ok)
@@ -187,8 +188,8 @@ PartitionRefiner::runBalancePass(const CoarseLevel &level,
 
         // Apply and update bookkeeping.
         for (int k = 0; k < numFuClasses; ++k) {
-            int mk = macroOccupancy(level, moveMacroIdx,
-                                    static_cast<FuClass>(k));
+            int mk =
+                macroOccupancy(moveMacroIdx, static_cast<FuClass>(k));
             occ[bestC][k] -= mk;
             occ[moveDest][k] += mk;
         }
@@ -214,20 +215,34 @@ PartitionRefiner::runEdgeImpactPass(const CoarseLevel &level,
         return machine_.fuPerCluster(static_cast<FuClass>(k)) * ii_;
     };
 
-    while (budget > 0) {
-        // Occupancy table for feasibility tests.
-        std::vector<std::vector<int>> occ(
-            clusters, std::vector<int>(numFuClasses, 0));
-        for (NodeId v = 0; v < ddg_.numNodes(); ++v) {
-            Opcode op = ddg_.node(v).opcode;
-            occ[partition.clusterOf(v)]
-               [static_cast<int>(fuClassOf(op))] += lat.occupancy(op);
+    // Occupancy table for feasibility tests: built once, then kept
+    // in sync incrementally as changes are applied (rebuilding it —
+    // and reallocating its rows — every round dominated this pass's
+    // profile on large loops).
+    std::vector<std::vector<int>> occ(
+        clusters, std::vector<int>(numFuClasses, 0));
+    for (NodeId v = 0; v < ddg_.numNodes(); ++v) {
+        Opcode op = ddg_.node(v).opcode;
+        occ[partition.clusterOf(v)][static_cast<int>(fuClassOf(op))] +=
+            lat.occupancy(op);
+    }
+    auto applyToOcc = [&](int macro, int from, int to) {
+        for (int k = 0; k < numFuClasses; ++k) {
+            int mk = macroOccupancy(macro, static_cast<FuClass>(k));
+            occ[from][k] -= mk;
+            occ[to][k] += mk;
         }
+    };
 
+    std::vector<Change> candidates;
+    std::vector<bool> isNeighbour(
+        static_cast<std::size_t>(clusters), false);
+
+    while (budget > 0) {
         auto moveFits = [&](int macro, int from, int to) {
             for (int k = 0; k < numFuClasses; ++k) {
-                int mk = macroOccupancy(level, macro,
-                                        static_cast<FuClass>(k));
+                int mk =
+                    macroOccupancy(macro, static_cast<FuClass>(k));
                 if (occ[to][k] + mk > slotOf(k))
                     return false;
                 (void)from;
@@ -238,8 +253,8 @@ PartitionRefiner::runEdgeImpactPass(const CoarseLevel &level,
             // ma: ca -> cb, mb: cb -> ca.
             for (int k = 0; k < numFuClasses; ++k) {
                 FuClass cls = static_cast<FuClass>(k);
-                int ak = macroOccupancy(level, ma, cls);
-                int bk = macroOccupancy(level, mb, cls);
+                int ak = macroOccupancy(ma, cls);
+                int bk = macroOccupancy(mb, cls);
                 if (occ[cb][k] - bk + ak > slotOf(k))
                     return false;
                 if (occ[ca][k] - ak + bk > slotOf(k))
@@ -264,28 +279,32 @@ PartitionRefiner::runEdgeImpactPass(const CoarseLevel &level,
             return w;
         };
 
-        std::vector<Change> candidates;
+        candidates.clear();
         for (int m = 0; m < level.numNodes(); ++m) {
             if (level.members[m].empty())
                 continue;
             int c1 = macroCluster(level, m, partition);
 
-            // Neighbouring clusters of this macro-node.
-            std::set<int> neighbours;
+            // Neighbouring clusters of this macro-node (flag array
+            // instead of a std::set: clusters are few and this runs
+            // per macro per round).
+            std::fill(isNeighbour.begin(), isNeighbour.end(), false);
             for (NodeId v : level.members[m]) {
                 for (EdgeId e : ddg_.outEdges(v)) {
                     int c = partition.clusterOf(ddg_.edge(e).dst);
                     if (c != c1)
-                        neighbours.insert(c);
+                        isNeighbour[c] = true;
                 }
                 for (EdgeId e : ddg_.inEdges(v)) {
                     int c = partition.clusterOf(ddg_.edge(e).src);
                     if (c != c1)
-                        neighbours.insert(c);
+                        isNeighbour[c] = true;
                 }
             }
 
-            for (int c2 : neighbours) {
+            for (int c2 = 0; c2 < clusters; ++c2) {
+                if (!isNeighbour[c2])
+                    continue;
                 if (moveFits(m, c1, c2)) {
                     std::int64_t gain =
                         staticGain(level, m, c2, partition);
@@ -364,9 +383,16 @@ PartitionRefiner::runEdgeImpactPass(const CoarseLevel &level,
         if (!haveBest || bestEst.execTime >= current.execTime)
             break; // no positive benefit remains
 
+        applyToOcc(bestChange.macroA,
+                   macroCluster(level, bestChange.macroA, partition),
+                   bestChange.destA);
         moveMacro(level, bestChange.macroA, bestChange.destA,
                   partition);
         if (bestChange.macroB != -1) {
+            applyToOcc(bestChange.macroB,
+                       macroCluster(level, bestChange.macroB,
+                                    partition),
+                       bestChange.destB);
             moveMacro(level, bestChange.macroB, bestChange.destB,
                       partition);
         }
@@ -381,6 +407,7 @@ void
 PartitionRefiner::refineLevel(const CoarseLevel &level,
                               Partition &partition) const
 {
+    computeMacroOccupancy(level);
     int budget = options_.maxChangesPerLevel > 0
                      ? options_.maxChangesPerLevel
                      : 2 * level.numNodes() + 8;

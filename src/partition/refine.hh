@@ -88,9 +88,25 @@ class PartitionRefiner
     RefineOptions options_;
     PartitionEstimator estimator_;
 
+    /**
+     * Per-level scratch: occupancy of each (macro-node, FU class),
+     * computed once per refineLevel (macro membership never changes
+     * within a level) so the passes' inner loops read a table
+     * instead of re-walking member lists.
+     */
+    mutable std::vector<int> macroOcc_;
+
+    /** Fills macroOcc_ for @p level. */
+    void computeMacroOccupancy(const CoarseLevel &level) const;
+
     /** Occupancy of ops of @p cls inside macro-node @p macro. */
-    int macroOccupancy(const CoarseLevel &level, int macro,
-                       FuClass cls) const;
+    int
+    macroOccupancy(int macro, FuClass cls) const
+    {
+        return macroOcc_[static_cast<std::size_t>(macro) *
+                             numFuClasses +
+                         static_cast<int>(cls)];
+    }
 
     /** Cluster of a macro-node (all members agree). */
     int macroCluster(const CoarseLevel &level, int macro,

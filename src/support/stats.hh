@@ -2,26 +2,37 @@
  * @file
  * Small summary-statistics helpers used by the benches and metrics
  * aggregation (arithmetic/geometric/harmonic means, running stats).
+ *
+ * RunningStat is safe to share between engine worker threads: add()
+ * and every accessor take an internal mutex. Accumulation is a
+ * handful of arithmetic operations, so a mutex (rather than
+ * per-thread partials) keeps the type copyable and the totals exact
+ * without measurable contention at gpsched's job granularity.
  */
 
 #ifndef GPSCHED_SUPPORT_STATS_HH
 #define GPSCHED_SUPPORT_STATS_HH
 
 #include <cstddef>
+#include <mutex>
 #include <vector>
 
 namespace gpsched
 {
 
-/** Streaming accumulator for count/mean/min/max/variance. */
+/** Thread-safe streaming accumulator for count/mean/min/max/variance. */
 class RunningStat
 {
   public:
+    RunningStat() = default;
+    RunningStat(const RunningStat &other);
+    RunningStat &operator=(const RunningStat &other);
+
     /** Adds one sample. */
     void add(double x);
 
     /** Number of samples added. */
-    std::size_t count() const { return count_; }
+    std::size_t count() const;
 
     /** Arithmetic mean (0 when empty). */
     double mean() const;
@@ -36,9 +47,10 @@ class RunningStat
     double max() const;
 
     /** Sum of all samples. */
-    double sum() const { return sum_; }
+    double sum() const;
 
   private:
+    mutable std::mutex mutex_;
     std::size_t count_ = 0;
     double sum_ = 0.0;
     double sumSq_ = 0.0;

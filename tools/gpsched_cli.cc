@@ -1,0 +1,318 @@
+/**
+ * @file
+ * gpsched command-line front-end: read text-format DDGs (see
+ * graph/textio.hh; a file may hold several `ddg ... end` blocks),
+ * schedule them through the batch engine for one machine under one
+ * or all schemes, and emit a JSON report with per-loop schedule
+ * metrics and engine/cache statistics.
+ *
+ * Usage:
+ *   gpsched_cli [options] <ddg-file>...
+ *     --machine unified|2cluster|4cluster   preset (default 4cluster)
+ *     --regs N          total registers (default 64)
+ *     --buses N         inter-cluster buses (default 1)
+ *     --bus-latency N   bus transfer latency (default 1)
+ *     --scheme uracam|fixed|gp|all          scheme (default gp)
+ *     --jobs N          engine workers; 0 = hardware (default 0)
+ *     --repeat N        compile the batch N times (cache demo)
+ *     --json PATH       report path; '-' = stdout (default '-')
+ */
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hh"
+#include "engine/engine.hh"
+#include "graph/textio.hh"
+#include "machine/configs.hh"
+#include "support/json.hh"
+#include "support/logging.hh"
+
+using namespace gpsched;
+
+namespace
+{
+
+struct CliOptions
+{
+    std::string machine = "4cluster";
+    int regs = 64;
+    int buses = 1;
+    int busLatency = 1;
+    std::string scheme = "gp";
+    int jobs = 0;
+    int repeat = 1;
+    std::string jsonPath = "-";
+    std::vector<std::string> files;
+};
+
+[[noreturn]] void
+usage(const char *argv0, int status)
+{
+    std::ostream &os = status == 0 ? std::cout : std::cerr;
+    os << "usage: " << argv0 << " [options] <ddg-file>...\n"
+       << "  --machine unified|2cluster|4cluster (default 4cluster)\n"
+       << "  --regs N         total registers (default 64)\n"
+       << "  --buses N        inter-cluster buses (default 1)\n"
+       << "  --bus-latency N  bus latency cycles (default 1)\n"
+       << "  --scheme uracam|fixed|gp|all (default gp)\n"
+       << "  --jobs N         engine workers, 0 = hardware (default 0)\n"
+       << "  --repeat N       compile the batch N times (default 1)\n"
+       << "  --json PATH      JSON report path, '-' = stdout\n";
+    std::exit(status);
+}
+
+/** Strict non-negative integer parse; exits 2 on any other text. */
+int
+parseCount(const char *argv0, const std::string &flag,
+           const std::string &text)
+{
+    char *end = nullptr;
+    errno = 0;
+    long value = std::strtol(text.c_str(), &end, 10);
+    if (errno != 0 || end == text.c_str() || *end != '\0' ||
+        value < 0 || value > 1 << 20) {
+        std::cerr << argv0 << ": " << flag
+                  << " needs a non-negative integer, got '" << text
+                  << "'\n";
+        std::exit(2);
+    }
+    return static_cast<int>(value);
+}
+
+CliOptions
+parseArgs(int argc, char **argv)
+{
+    CliOptions options;
+    auto needValue = [&](int &i) -> std::string {
+        if (i + 1 >= argc) {
+            std::cerr << argv[0] << ": " << argv[i]
+                      << " needs a value\n";
+            usage(argv[0], 2);
+        }
+        return argv[++i];
+    };
+    auto countValue = [&](int &i) {
+        std::string flag = argv[i];
+        return parseCount(argv[0], flag, needValue(i));
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--machine")
+            options.machine = needValue(i);
+        else if (arg == "--regs")
+            options.regs = countValue(i);
+        else if (arg == "--buses")
+            options.buses = countValue(i);
+        else if (arg == "--bus-latency")
+            options.busLatency = countValue(i);
+        else if (arg == "--scheme")
+            options.scheme = needValue(i);
+        else if (arg == "--jobs")
+            options.jobs = countValue(i);
+        else if (arg == "--repeat")
+            options.repeat = countValue(i);
+        else if (arg == "--json")
+            options.jsonPath = needValue(i);
+        else if (arg == "--help" || arg == "-h")
+            usage(argv[0], 0);
+        else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << argv[0] << ": unknown option '" << arg
+                      << "'\n";
+            usage(argv[0], 2);
+        } else {
+            options.files.push_back(arg);
+        }
+    }
+    if (options.files.empty()) {
+        std::cerr << argv[0] << ": no input files\n";
+        usage(argv[0], 2);
+    }
+    if (options.jobs < 0 || options.repeat < 1)
+        GPSCHED_FATAL("--jobs must be >= 0 and --repeat >= 1");
+    return options;
+}
+
+MachineConfig
+machineFor(const CliOptions &options)
+{
+    if (options.machine == "unified")
+        return unifiedConfig(options.regs);
+    if (options.machine == "2cluster")
+        return twoClusterConfig(options.regs, options.busLatency,
+                                options.buses);
+    if (options.machine == "4cluster")
+        return fourClusterConfig(options.regs, options.busLatency,
+                                 options.buses);
+    GPSCHED_FATAL("unknown machine preset '", options.machine,
+                  "' (unified|2cluster|4cluster)");
+}
+
+std::vector<SchedulerKind>
+schemesFor(const CliOptions &options)
+{
+    if (options.scheme == "uracam")
+        return {SchedulerKind::Uracam};
+    if (options.scheme == "fixed")
+        return {SchedulerKind::FixedPartition};
+    if (options.scheme == "gp")
+        return {SchedulerKind::Gp};
+    if (options.scheme == "all")
+        return {SchedulerKind::Uracam, SchedulerKind::FixedPartition,
+                SchedulerKind::Gp};
+    GPSCHED_FATAL("unknown scheme '", options.scheme,
+                  "' (uracam|fixed|gp|all)");
+}
+
+/** One input loop and where it came from. */
+struct InputLoop
+{
+    std::string file;
+    Ddg ddg;
+};
+
+/** Reads every `ddg ... end` block of every input file. */
+std::vector<InputLoop>
+readInputs(const std::vector<std::string> &files)
+{
+    std::vector<InputLoop> loops;
+    for (const std::string &path : files) {
+        std::ifstream in(path);
+        if (!in)
+            GPSCHED_FATAL("cannot open DDG file '", path, "'");
+        // Peek for content before each parse so trailing blank lines
+        // and comments don't read as a truncated DDG.
+        for (;;) {
+            std::string line;
+            std::streampos before = in.tellg();
+            bool content = false;
+            while (std::getline(in, line)) {
+                auto hash = line.find('#');
+                if (hash != std::string::npos)
+                    line.erase(hash);
+                if (line.find_first_not_of(" \t\r") !=
+                    std::string::npos) {
+                    content = true;
+                    break;
+                }
+                before = in.tellg();
+            }
+            if (!content)
+                break;
+            in.seekg(before);
+            loops.push_back(InputLoop{path, readDdgText(in)});
+        }
+        if (loops.empty() || loops.back().file != path)
+            GPSCHED_FATAL("no DDGs found in '", path, "'");
+    }
+    return loops;
+}
+
+void
+writeReport(std::ostream &os, const CliOptions &options,
+            const MachineConfig &machine,
+            const std::vector<SchedulerKind> &schemes,
+            const std::vector<InputLoop> &inputs,
+            const std::vector<CompiledLoop> &results,
+            const Engine &engine)
+{
+    EngineStats stats = engine.stats();
+    JsonWriter json(os);
+    json.beginObject();
+    json.member("schemaVersion", 1);
+    json.member("tool", "gpsched_cli");
+    json.beginObject("machine");
+    json.member("name", machine.name());
+    json.member("clusters", machine.numClusters());
+    json.member("totalRegs", machine.totalRegs());
+    json.member("buses", machine.numBuses());
+    json.member("busLatency", machine.busLatency());
+    json.endObject();
+    json.beginArray("loops");
+    std::size_t i = 0;
+    for (const SchedulerKind kind : schemes) {
+        for (const InputLoop &input : inputs) {
+            const CompiledLoop &loop = results[i++];
+            json.beginObject();
+            json.member("file", input.file);
+            json.member("name", loop.loopName);
+            json.member("scheme", toString(kind));
+            json.member("nodes", input.ddg.numNodes());
+            json.member("edges", input.ddg.numEdges());
+            json.member("tripCount", input.ddg.tripCount());
+            json.member("moduloScheduled", loop.moduloScheduled);
+            json.member("mii", loop.mii);
+            json.member("ii", loop.ii);
+            json.member("scheduleLength", loop.scheduleLength);
+            json.member("cycles", loop.cycles);
+            json.member("ops", loop.ops);
+            json.member("ipc", loop.ipc);
+            json.member("busTransfers", loop.stats.busTransfers);
+            json.member("memTransfers", loop.stats.memTransfers);
+            json.member("spills", loop.stats.spills);
+            json.member("partitionRuns", loop.partitionRuns);
+            json.member("scheduleAttempts", loop.scheduleAttempts);
+            json.member("schedSeconds", loop.schedSeconds);
+            json.endObject();
+        }
+    }
+    json.endArray();
+    json.beginObject("engine");
+    json.member("jobs", engine.jobs());
+    json.member("repeat", options.repeat);
+    json.member("jobsSubmitted", stats.jobsSubmitted);
+    json.member("cacheHits", stats.cacheHits);
+    json.member("cacheMisses", stats.cacheMisses);
+    json.member("hitRate", stats.hitRate());
+    json.endObject();
+    json.endObject();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliOptions options = parseArgs(argc, argv);
+    MachineConfig machine = machineFor(options);
+    std::vector<SchedulerKind> schemes = schemesFor(options);
+    std::vector<InputLoop> inputs = readInputs(options.files);
+
+    EngineOptions engineOptions;
+    engineOptions.jobs = options.jobs;
+    Engine engine(engineOptions);
+
+    std::vector<EngineJob> batch;
+    batch.reserve(schemes.size() * inputs.size());
+    for (const SchedulerKind kind : schemes) {
+        for (const InputLoop &input : inputs) {
+            EngineJob job;
+            job.loop = &input.ddg;
+            job.machine = &machine;
+            job.kind = kind;
+            batch.push_back(job);
+        }
+    }
+
+    std::vector<CompiledLoop> results;
+    for (int r = 0; r < options.repeat; ++r)
+        results = engine.compileBatch(batch);
+
+    if (options.jsonPath == "-") {
+        writeReport(std::cout, options, machine, schemes, inputs,
+                    results, engine);
+    } else {
+        std::ofstream out(options.jsonPath);
+        if (!out)
+            GPSCHED_FATAL("cannot open JSON report path '",
+                          options.jsonPath, "'");
+        writeReport(out, options, machine, schemes, inputs, results,
+                    engine);
+    }
+    return 0;
+}
