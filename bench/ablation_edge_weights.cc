@@ -44,27 +44,30 @@ main(int argc, char **argv)
 
     TextTable table({"configuration", "delay+slack", "delay only",
                      "slack only", "neither"});
-    struct Case
-    {
-        const char *name;
-        MachineConfig m;
-    };
-    std::vector<Case> cases = {
-        {"2-cluster, 32 regs, lat 1", twoClusterConfig(32, 1)},
-        {"4-cluster, 32 regs, lat 1", fourClusterConfig(32, 1)},
-        {"4-cluster, 32 regs, lat 2", fourClusterConfig(32, 2)},
-    };
-    for (const Case &c : cases) {
-        table.addRow(
-            {c.name,
-             TextTable::num(gpIpc(engine, suite, c.m, true, true)),
-             TextTable::num(gpIpc(engine, suite, c.m, true, false)),
-             TextTable::num(gpIpc(engine, suite, c.m, false, true)),
-             TextTable::num(gpIpc(engine, suite, c.m, false,
-                                  false))});
+    MetricTable metrics;
+    metrics.title = "Ablation A: GP mean IPC vs edge-weight terms";
+    metrics.labelColumns = {"configuration"};
+    metrics.valueColumns = {"delaySlackIpc", "delayOnlyIpc",
+                            "slackOnlyIpc", "neitherIpc"};
+    std::vector<MachineConfig> machines = benchMachines(
+        options, {twoClusterConfig(32, 1), fourClusterConfig(32, 1),
+                  fourClusterConfig(32, 2)});
+    for (const MachineConfig &m : machines) {
+        double both = gpIpc(engine, suite, m, true, true);
+        double delay_only = gpIpc(engine, suite, m, true, false);
+        double slack_only = gpIpc(engine, suite, m, false, true);
+        double neither = gpIpc(engine, suite, m, false, false);
+        table.addRow({m.name(), TextTable::num(both),
+                      TextTable::num(delay_only),
+                      TextTable::num(slack_only),
+                      TextTable::num(neither)});
+        metrics.addRow({m.name()},
+                       {both, delay_only, slack_only, neither});
     }
     table.print(std::cout,
                 "Ablation A: GP mean IPC vs edge-weight terms "
                 "(weight = delay*(maxsl+1) + maxsl - slack + 1)");
+    emitMetricTablesJson(options, "ablation_edge_weights", {metrics},
+                         &engine);
     return 0;
 }

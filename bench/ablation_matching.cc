@@ -29,32 +29,32 @@ main(int argc, char **argv)
 
     TextTable table({"configuration", "greedy heavy-edge",
                      "random maximal"});
-    struct Case
-    {
-        const char *name;
-        MachineConfig m;
-    };
-    std::vector<Case> cases = {
-        {"2-cluster, 32 regs, lat 1", twoClusterConfig(32, 1)},
-        {"4-cluster, 32 regs, lat 1", fourClusterConfig(32, 1)},
-        {"4-cluster, 32 regs, lat 2", fourClusterConfig(32, 2)},
-    };
-    for (const Case &c : cases) {
+    MetricTable metrics;
+    metrics.title = "Ablation C: GP mean IPC vs matching policy";
+    metrics.labelColumns = {"configuration"};
+    metrics.valueColumns = {"greedyHeavyIpc", "randomMaximalIpc"};
+    std::vector<MachineConfig> machines = benchMachines(
+        options, {twoClusterConfig(32, 1), fourClusterConfig(32, 1),
+                  fourClusterConfig(32, 2)});
+    for (const MachineConfig &m : machines) {
         LoopCompilerOptions greedy;
         greedy.partitioner.matching = MatchingPolicy::GreedyHeavy;
         LoopCompilerOptions random;
         random.partitioner.matching = MatchingPolicy::RandomMaximal;
         double g =
-            compileSuite(engine, suite, c.m, SchedulerKind::Gp, greedy)
+            compileSuite(engine, suite, m, SchedulerKind::Gp, greedy)
                 .meanIpc;
         double r =
-            compileSuite(engine, suite, c.m, SchedulerKind::Gp, random)
+            compileSuite(engine, suite, m, SchedulerKind::Gp, random)
                 .meanIpc;
         table.addRow(
-            {c.name, TextTable::num(g), TextTable::num(r)});
+            {m.name(), TextTable::num(g), TextTable::num(r)});
+        metrics.addRow({m.name()}, {g, r});
     }
     table.print(std::cout,
                 "Ablation C: GP mean IPC vs coarsening matching "
                 "policy");
+    emitMetricTablesJson(options, "ablation_matching", {metrics},
+                         &engine);
     return 0;
 }

@@ -32,33 +32,33 @@ main(int argc, char **argv)
 
     TextTable table({"configuration", "GP (paper)",
                      "GP register-aware", "gain"});
-    struct Case
-    {
-        const char *name;
-        MachineConfig m;
-    };
-    std::vector<Case> cases = {
-        {"2-cluster, 32 regs, lat 1", twoClusterConfig(32, 1)},
-        {"4-cluster, 32 regs, lat 1", fourClusterConfig(32, 1)},
-        {"4-cluster, 64 regs, lat 1", fourClusterConfig(64, 1)},
-        {"4-cluster, 32 regs, lat 2", fourClusterConfig(32, 2)},
-    };
-    for (const Case &c : cases) {
+    MetricTable metrics;
+    metrics.title = "Ablation D: register-aware partitioning";
+    metrics.labelColumns = {"configuration"};
+    metrics.valueColumns = {"gpIpc", "gpRegisterAwareIpc",
+                            "gainPct"};
+    std::vector<MachineConfig> machines = benchMachines(
+        options, {twoClusterConfig(32, 1), fourClusterConfig(32, 1),
+                  fourClusterConfig(64, 1), fourClusterConfig(32, 2)});
+    for (const MachineConfig &m : machines) {
         LoopCompilerOptions plain;
         LoopCompilerOptions aware;
         aware.partitioner.registerAware = true;
         double p =
-            compileSuite(engine, suite, c.m, SchedulerKind::Gp, plain)
+            compileSuite(engine, suite, m, SchedulerKind::Gp, plain)
                 .meanIpc;
         double a =
-            compileSuite(engine, suite, c.m, SchedulerKind::Gp, aware)
+            compileSuite(engine, suite, m, SchedulerKind::Gp, aware)
                 .meanIpc;
-        table.addRow({c.name, TextTable::num(p), TextTable::num(a),
-                      TextTable::num(100.0 * (a / p - 1.0), 1) +
-                          "%"});
+        double gain = 100.0 * (a / p - 1.0);
+        table.addRow({m.name(), TextTable::num(p), TextTable::num(a),
+                      TextTable::num(gain, 1) + "%"});
+        metrics.addRow({m.name()}, {p, a, gain});
     }
     table.print(std::cout,
                 "Ablation D: register-aware partitioning (the "
                 "paper's Section-4.2 future work)");
+    emitMetricTablesJson(options, "ablation_regpressure", {metrics},
+                         &engine);
     return 0;
 }

@@ -29,16 +29,13 @@ main(int argc, char **argv)
 
     TextTable table({"configuration", "policy", "mean IPC",
                      "sched (s)"});
-    struct Case
-    {
-        const char *name;
-        MachineConfig m;
-    };
-    std::vector<Case> cases = {
-        {"2-cluster, 32 regs, lat 1", twoClusterConfig(32, 1)},
-        {"4-cluster, 32 regs, lat 1", fourClusterConfig(32, 1)},
-        {"4-cluster, 32 regs, lat 2", fourClusterConfig(32, 2)},
-    };
+    MetricTable metrics;
+    metrics.title = "Ablation B: GP re-partition policy";
+    metrics.labelColumns = {"configuration", "policy"};
+    metrics.valueColumns = {"meanIpc", "schedSeconds"};
+    std::vector<MachineConfig> machines = benchMachines(
+        options, {twoClusterConfig(32, 1), fourClusterConfig(32, 1),
+                  fourClusterConfig(32, 2)});
     struct Policy
     {
         const char *name;
@@ -50,22 +47,27 @@ main(int argc, char **argv)
         {"always", RepartitionPolicy::Always},
     };
     bool first = true;
-    for (const Case &c : cases) {
+    for (const MachineConfig &m : machines) {
         if (!first)
             table.addSeparator();
         first = false;
         for (const Policy &p : policies) {
             LoopCompilerOptions compilerOptions;
             compilerOptions.repartition = p.policy;
-            SuiteResult r = compileSuite(engine, suite, c.m, SchedulerKind::Gp,
+            SuiteResult r = compileSuite(engine, suite, m,
+                                         SchedulerKind::Gp,
                                          compilerOptions);
-            table.addRow({c.name, p.name,
+            table.addRow({m.name(), p.name,
                           TextTable::num(r.meanIpc),
                           TextTable::num(r.schedSeconds, 3)});
+            metrics.addRow({m.name(), p.name},
+                           {r.meanIpc, r.schedSeconds});
         }
     }
     table.print(std::cout,
                 "Ablation B: GP re-partition policy (paper: "
                 "selective wins)");
+    emitMetricTablesJson(options, "ablation_repartition", {metrics},
+                         &engine);
     return 0;
 }

@@ -52,28 +52,32 @@ main(int argc, char **argv)
 
     TextTable table({"configuration", "unroll 1", "unroll 2",
                      "unroll 3"});
-    struct Case
-    {
-        const char *name;
-        MachineConfig m;
-    };
-    std::vector<Case> cases = {
-        {"2-cluster, 32 regs, lat 1", twoClusterConfig(32, 1)},
-        {"4-cluster, 32 regs, lat 1", fourClusterConfig(32, 1)},
-        {"4-cluster, 64 regs, lat 1", fourClusterConfig(64, 1)},
-    };
-    for (const Case &c : cases) {
-        std::vector<std::string> row = {c.name};
+    MetricTable metrics;
+    metrics.title = "Ablation E: GP mean IPC vs unroll factor";
+    metrics.labelColumns = {"configuration"};
+    metrics.valueColumns = {"unroll1Ipc", "unroll2Ipc",
+                            "unroll3Ipc"};
+    std::vector<MachineConfig> machines = benchMachines(
+        options, {twoClusterConfig(32, 1), fourClusterConfig(32, 1),
+                  fourClusterConfig(64, 1)});
+    for (const MachineConfig &m : machines) {
+        std::vector<std::string> row = {m.name()};
+        std::vector<double> values;
         for (int factor : {1, 2, 3}) {
             auto unrolled = unrollSuite(suite, factor);
-            row.push_back(TextTable::num(
-                compileSuite(engine, unrolled, c.m, SchedulerKind::Gp)
-                    .meanIpc));
+            double ipc =
+                compileSuite(engine, unrolled, m, SchedulerKind::Gp)
+                    .meanIpc;
+            row.push_back(TextTable::num(ipc));
+            values.push_back(ipc);
         }
         table.addRow(row);
+        metrics.addRow({m.name()}, std::move(values));
     }
     table.print(std::cout,
                 "Ablation E: GP mean IPC vs unroll factor "
                 "(Sánchez & González, ICPP 2000)");
+    emitMetricTablesJson(options, "ablation_unroll", {metrics},
+                         &engine);
     return 0;
 }

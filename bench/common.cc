@@ -8,6 +8,7 @@
 
 #include "core/metrics.hh"
 #include "machine/configs.hh"
+#include "machine/registry.hh"
 #include "support/json.hh"
 #include "support/logging.hh"
 #include "support/table.hh"
@@ -48,7 +49,7 @@ parseCount(const char *argv0, const std::string &flag,
 } // namespace
 
 BenchOptions
-parseBenchArgs(int argc, char **argv, bool json_supported)
+parseBenchArgs(int argc, char **argv)
 {
     BenchOptions options;
     for (int i = 1; i < argc; ++i) {
@@ -62,25 +63,58 @@ parseBenchArgs(int argc, char **argv, bool json_supported)
             }
             options.jobs = parseCount(argv[0], "--jobs", argv[++i]);
         } else if (arg == "--json") {
-            if (!json_supported) {
-                std::cerr << argv[0]
-                          << ": this bench does not emit JSON\n";
-                std::exit(2);
-            }
             if (i + 1 >= argc) {
                 std::cerr << argv[0] << ": --json needs a path\n";
                 std::exit(2);
             }
             options.jsonPath = argv[++i];
+        } else if (arg == "--machines") {
+            if (i + 1 >= argc) {
+                std::cerr << argv[0]
+                          << ": --machines needs a comma-separated "
+                             "list of names or .machine paths\n";
+                std::exit(2);
+            }
+            std::string list = argv[++i];
+            std::string entry;
+            for (char ch : list) {
+                if (ch == ',') {
+                    if (!entry.empty())
+                        options.machines.push_back(entry);
+                    entry.clear();
+                } else {
+                    entry += ch;
+                }
+            }
+            if (!entry.empty())
+                options.machines.push_back(entry);
+            if (options.machines.empty()) {
+                std::cerr << argv[0] << ": --machines got an empty "
+                                        "list\n";
+                std::exit(2);
+            }
         } else {
             std::cerr << argv[0] << ": unknown argument '" << arg
-                      << "' (--smoke, --jobs N"
-                      << (json_supported ? ", --json PATH" : "")
-                      << ")\n";
+                      << "' (--smoke, --jobs N, --json PATH, "
+                         "--machines LIST)\n";
             std::exit(2);
         }
     }
     return options;
+}
+
+std::vector<MachineConfig>
+benchMachines(const BenchOptions &options,
+              const std::vector<MachineConfig> &fallback)
+{
+    if (options.machines.empty())
+        return fallback;
+    std::vector<MachineConfig> machines;
+    machines.reserve(options.machines.size());
+    const MachineRegistry &registry = MachineRegistry::builtin();
+    for (const std::string &spec : options.machines)
+        machines.push_back(registry.resolve(spec));
+    return machines;
 }
 
 void
@@ -226,6 +260,7 @@ writePanelsJson(std::ostream &os, const std::string &benchName,
     json.member("jobsSubmitted", stats.jobsSubmitted);
     json.member("cacheHits", stats.cacheHits);
     json.member("cacheMisses", stats.cacheMisses);
+    json.member("coalesced", stats.coalesced);
     json.member("hitRate", stats.hitRate());
     json.endObject();
     json.endObject();
@@ -239,6 +274,81 @@ emitPanelsJson(const BenchOptions &options,
 {
     withJsonStream(options, [&](std::ostream &os) {
         writePanelsJson(os, benchName, panels, engine);
+    });
+}
+
+void
+MetricTable::addRow(std::vector<std::string> row_labels,
+                    std::vector<double> row_values)
+{
+    GPSCHED_ASSERT(row_labels.size() == labelColumns.size() &&
+                       row_values.size() == valueColumns.size(),
+                   "metric row arity mismatch in table '", title,
+                   "'");
+    rows.push_back(
+        MetricRow{std::move(row_labels), std::move(row_values)});
+}
+
+void
+writeMetricTablesJson(std::ostream &os, const std::string &benchName,
+                      const std::vector<MetricTable> &tables,
+                      const Engine *engine)
+{
+    JsonWriter json(os);
+    json.beginObject();
+    json.member("schemaVersion", 1);
+    json.member("bench", benchName);
+    json.beginArray("tables");
+    for (const MetricTable &table : tables) {
+        json.beginObject();
+        json.member("title", table.title);
+        json.beginArray("labelColumns");
+        for (const std::string &column : table.labelColumns)
+            json.element(column);
+        json.endArray();
+        json.beginArray("valueColumns");
+        for (const std::string &column : table.valueColumns)
+            json.element(column);
+        json.endArray();
+        json.beginArray("rows");
+        for (const MetricRow &row : table.rows) {
+            json.beginObject();
+            json.beginArray("labels");
+            for (const std::string &label : row.labels)
+                json.element(label);
+            json.endArray();
+            json.beginArray("values");
+            for (double value : row.values)
+                json.element(value);
+            json.endArray();
+            json.endObject();
+        }
+        json.endArray();
+        json.endObject();
+    }
+    json.endArray();
+    if (engine) {
+        EngineStats stats = engine->stats();
+        json.beginObject("engine");
+        json.member("jobs", engine->jobs());
+        json.member("jobsSubmitted", stats.jobsSubmitted);
+        json.member("cacheHits", stats.cacheHits);
+        json.member("cacheMisses", stats.cacheMisses);
+        json.member("coalesced", stats.coalesced);
+        json.member("hitRate", stats.hitRate());
+        json.endObject();
+    }
+    json.endObject();
+}
+
+void
+emitMetricTablesJson(const BenchOptions &options,
+                     const std::string &benchName,
+                     const std::vector<MetricTable> &tables,
+                     const Engine *engine)
+{
+    withJsonStream(options, [&](std::ostream &os) {
+        writeMetricTablesJson(os, benchName, tables, engine);
     });
 }
 

@@ -5,8 +5,11 @@
  * print per-program IPC rows the way Figures 2/3 report them.
  *
  * Every driver accepts --smoke (tiny workload for CTest), --jobs N
- * (worker threads of the batch engine; 0 = hardware concurrency) and
- * --json PATH (machine-readable report; "-" for stdout). Panels run
+ * (worker threads of the batch engine; 0 = hardware concurrency),
+ * --json PATH (machine-readable report; "-" for stdout) and
+ * --machines LIST (comma-separated registry names or .machine file
+ * paths replacing the driver's default machine sweep, so every
+ * figure and ablation runs on arbitrary configurations). Panels run
  * through one shared Engine so the fingerprint cache dedupes
  * identical loop shapes across panels and schemes.
  */
@@ -46,6 +49,12 @@ struct BenchOptions
     /** Machine-readable report path (--json PATH; "-" = stdout). */
     std::string jsonPath;
 
+    /**
+     * Machine sweep override (--machines a,b,...): registry names or
+     * `.machine` file paths. Empty = the driver's default sweep.
+     */
+    std::vector<std::string> machines;
+
     /** Iteration counts for repeated-measurement benches. */
     int
     reps(int full) const
@@ -58,13 +67,19 @@ struct BenchOptions
 };
 
 /**
- * Parses argv; recognizes --smoke/--jobs and, when @p json_supported,
- * --json; exits with status 2 otherwise. Drivers that do not emit a
- * report keep the default so a --json request fails loudly instead of
- * silently writing nothing.
+ * Parses argv; recognizes --smoke/--jobs/--json/--machines; exits
+ * with status 2 on anything else.
  */
-BenchOptions parseBenchArgs(int argc, char **argv,
-                            bool json_supported = false);
+BenchOptions parseBenchArgs(int argc, char **argv);
+
+/**
+ * The driver's machine sweep: every --machines entry resolved
+ * through the registry (names or `.machine` paths), or @p fallback
+ * when the flag was absent.
+ */
+std::vector<MachineConfig>
+benchMachines(const BenchOptions &options,
+              const std::vector<MachineConfig> &fallback);
 
 /**
  * Runs @p emit against the --json destination: a file stream for a
@@ -134,6 +149,46 @@ void emitPanelsJson(const BenchOptions &options,
                     const std::string &benchName,
                     const std::vector<FigurePanel> &panels,
                     const Engine &engine);
+
+/**
+ * Generic machine-readable mirror of a bench's printed table: rows
+ * of string labels plus numeric values, so every driver (figures and
+ * ablations alike) can join the nightly JSON trajectory and
+ * tools/bench_delta.py can diff runs without per-bench schemas.
+ */
+struct MetricRow
+{
+    std::vector<std::string> labels;
+    std::vector<double> values;
+};
+
+/** One labeled table of a bench report. */
+struct MetricTable
+{
+    std::string title;
+    std::vector<std::string> labelColumns;
+    std::vector<std::string> valueColumns;
+    std::vector<MetricRow> rows;
+
+    /** Appends a row (label/value arities must match the columns). */
+    void addRow(std::vector<std::string> labels,
+                std::vector<double> values);
+};
+
+/**
+ * Writes @p tables as a JSON report (schemaVersion, per-table rows,
+ * engine/cache statistics when @p engine is non-null) to @p os.
+ */
+void writeMetricTablesJson(std::ostream &os,
+                           const std::string &benchName,
+                           const std::vector<MetricTable> &tables,
+                           const Engine *engine);
+
+/** Honors --json for MetricTable reports (see emitPanelsJson). */
+void emitMetricTablesJson(const BenchOptions &options,
+                          const std::string &benchName,
+                          const std::vector<MetricTable> &tables,
+                          const Engine *engine);
 
 } // namespace gpsched::bench
 

@@ -16,18 +16,23 @@ using namespace gpsched::bench;
 int
 main(int argc, char **argv)
 {
-    BenchOptions options =
-        parseBenchArgs(argc, argv, /*json_supported=*/true);
+    BenchOptions options = parseBenchArgs(argc, argv);
     LatencyTable lat;
     auto suite = benchSuite(lat, options);
     Engine engine(options.engineOptions());
 
     std::vector<FigurePanel> panels;
-    for (int regs : {32, 64}) {
-        panels.push_back(runPanel(
-            engine, suite, fourClusterConfig(regs, 2),
-            "Figure 3: IPC, 4-cluster, 1 bus (latency 2), " +
-                std::to_string(regs) + " registers"));
+    if (options.machines.empty()) {
+        for (int regs : {32, 64}) {
+            panels.push_back(runPanel(
+                engine, suite, fourClusterConfig(regs, 2),
+                "Figure 3: IPC, 4-cluster, 1 bus (latency 2), " +
+                    std::to_string(regs) + " registers"));
+        }
+    } else {
+        for (const MachineConfig &m : benchMachines(options, {}))
+            panels.push_back(runPanel(engine, suite, m,
+                                      "IPC on " + m.summary()));
     }
     for (const FigurePanel &panel : panels)
         printPanel(panel);

@@ -2,7 +2,10 @@
  * @file
  * Checks the paper's side claim that "results for two buses follow a
  * similar trend" (Section 4.1): repeats the Figure 2/3 averages with
- * a second inter-cluster bus and prints both series side by side.
+ * the bus count doubled (every bus class, for machines declaring
+ * several) and prints both series side by side. --machines sweeps
+ * arbitrary registry entries or .machine files instead of the
+ * default Table-1 trio; --json emits the machine-readable report.
  */
 
 #include <iostream>
@@ -41,6 +44,20 @@ averages(Engine &engine, const std::vector<Program> &suite,
     return row;
 }
 
+/** @p m with every bus class's count multiplied by @p factor. */
+MachineConfig
+withScaledBuses(const MachineConfig &m, int factor)
+{
+    std::vector<BusDesc> buses;
+    for (int i = 0; i < m.numBusClasses(); ++i) {
+        BusDesc bus = m.busClass(i);
+        bus.count *= factor;
+        buses.push_back(bus);
+    }
+    return m.withBusClasses(std::move(buses),
+                            m.name() + "-x" + std::to_string(factor));
+}
+
 } // namespace
 
 int
@@ -51,43 +68,47 @@ main(int argc, char **argv)
     auto suite = benchSuite(lat, options);
     Engine engine(options.engineOptions());
 
+    std::vector<MachineConfig> machines = benchMachines(
+        options, {twoClusterConfig(32, 1), fourClusterConfig(32, 1),
+                  fourClusterConfig(32, 2)});
+
     TextTable table({"configuration", "buses", "URACAM", "Fixed",
                      "GP", "GP/URACAM"});
-    struct Case
-    {
-        const char *name;
-        int clusters;
-        int regs;
-        int bus_lat;
-    };
-    std::vector<Case> cases = {
-        {"2-cluster, 32 regs, lat 1", 2, 32, 1},
-        {"4-cluster, 32 regs, lat 1", 4, 32, 1},
-        {"4-cluster, 32 regs, lat 2", 4, 32, 2},
-    };
+    MetricTable metrics;
+    metrics.title = "Two-bus check";
+    metrics.labelColumns = {"configuration"};
+    metrics.valueColumns = {"buses", "uracamIpc", "fixedIpc",
+                            "gpIpc", "gpOverUracamPct"};
+
     bool first = true;
-    for (const Case &c : cases) {
+    for (const MachineConfig &base : machines) {
+        if (base.unified()) {
+            std::cerr << "skipping unified machine '" << base.name()
+                      << "': no buses to double\n";
+            continue;
+        }
         if (!first)
             table.addSeparator();
         first = false;
-        for (int buses : {1, 2}) {
+        for (int factor : {1, 2}) {
             MachineConfig m =
-                c.clusters == 2
-                    ? twoClusterConfig(c.regs, c.bus_lat, buses)
-                    : fourClusterConfig(c.regs, c.bus_lat, buses);
+                factor == 1 ? base : withScaledBuses(base, factor);
             Row row = averages(engine, suite, m);
-            table.addRow({c.name, std::to_string(buses),
+            double gain = 100.0 * (row.gp / row.uracam - 1.0);
+            table.addRow({base.name(),
+                          std::to_string(m.numBuses()),
                           TextTable::num(row.uracam),
                           TextTable::num(row.fixed),
                           TextTable::num(row.gp),
-                          TextTable::num(
-                              100.0 * (row.gp / row.uracam - 1.0),
-                              1) +
-                              "%"});
+                          TextTable::num(gain, 1) + "%"});
+            metrics.addRow({m.name()},
+                           {static_cast<double>(m.numBuses()),
+                            row.uracam, row.fixed, row.gp, gain});
         }
     }
     table.print(std::cout,
                 "Two-bus check (paper: \"results for two buses "
                 "follow a similar trend\")");
+    emitMetricTablesJson(options, "fig_buses", {metrics}, &engine);
     return 0;
 }

@@ -1,47 +1,120 @@
 /**
  * @file
  * Regenerates paper Table 1: the clustered VLIW configurations and
- * the operation latencies used throughout the evaluation.
+ * the operation latencies used throughout the evaluation. Rows come
+ * from the machine registry (which routes every preset through the
+ * `.machine` description layer); --machines prints arbitrary
+ * registry entries or .machine files instead, and --json emits the
+ * machine-readable report.
  */
 
 #include <iostream>
 
 #include "common.hh"
-#include "machine/configs.hh"
+#include "machine/registry.hh"
 #include "support/table.hh"
 
 using namespace gpsched;
+using namespace gpsched::bench;
+
+namespace
+{
+
+/** Per-cluster FU counts as one cell: "2" when uniform, "3,1,..."
+ *  when clusters differ. */
+std::string
+fuCell(const MachineConfig &m, FuClass cls)
+{
+    if (m.homogeneous())
+        return std::to_string(m.fuPerCluster(cls));
+    std::string cell;
+    for (int c = 0; c < m.numClusters(); ++c) {
+        if (c > 0)
+            cell += ",";
+        cell += std::to_string(m.fuInCluster(c, cls));
+    }
+    return cell;
+}
+
+/** Bus classes as one cell: "1@1" (count@latency) per class. */
+std::string
+busCell(const MachineConfig &m)
+{
+    if (m.numBusClasses() == 0)
+        return "-";
+    std::string cell;
+    for (int i = 0; i < m.numBusClasses(); ++i) {
+        if (i > 0)
+            cell += "+";
+        cell += std::to_string(m.busClass(i).count) + "@" +
+                std::to_string(m.busClass(i).latency);
+    }
+    return cell;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
-    bench::parseBenchArgs(argc, argv); // accepts --smoke; this bench is already tiny
+    BenchOptions options = parseBenchArgs(argc, argv);
+
+    std::vector<MachineConfig> machines;
+    if (options.machines.empty()) {
+        const MachineRegistry &registry = MachineRegistry::builtin();
+        for (int i = 0; i < registry.size(); ++i)
+            machines.push_back(registry.at(i));
+    } else {
+        machines = benchMachines(options, {});
+    }
+
     TextTable configs({"configuration", "clusters", "INT/cl", "FP/cl",
-                       "MEM/cl", "issue", "regs", "buses",
-                       "bus lat"});
-    for (const MachineConfig &m : table1Configs()) {
+                       "MEM/cl", "issue", "regs",
+                       "buses (count@lat)"});
+    MetricTable configMetrics;
+    configMetrics.title = "Table 1: clustered VLIW configurations";
+    configMetrics.labelColumns = {"configuration", "fuMix", "buses"};
+    configMetrics.valueColumns = {"clusters", "issue", "regs",
+                                  "busCount"};
+    for (const MachineConfig &m : machines) {
         configs.addRow({m.name(), std::to_string(m.numClusters()),
-                        std::to_string(m.fuPerCluster(FuClass::Int)),
-                        std::to_string(m.fuPerCluster(FuClass::Fp)),
-                        std::to_string(m.fuPerCluster(FuClass::Mem)),
+                        fuCell(m, FuClass::Int), fuCell(m, FuClass::Fp),
+                        fuCell(m, FuClass::Mem),
                         std::to_string(m.totalIssueWidth()),
-                        std::to_string(m.totalRegs()),
-                        std::to_string(m.numBuses()),
-                        std::to_string(m.busLatency())});
+                        std::to_string(m.totalRegs()), busCell(m)});
+        configMetrics.addRow(
+            {m.name(),
+             fuCell(m, FuClass::Int) + "/" + fuCell(m, FuClass::Fp) +
+                 "/" + fuCell(m, FuClass::Mem),
+             busCell(m)},
+            {static_cast<double>(m.numClusters()),
+             static_cast<double>(m.totalIssueWidth()),
+             static_cast<double>(m.totalRegs()),
+             static_cast<double>(m.numBuses())});
     }
     configs.print(std::cout,
                   "Table 1: clustered VLIW configurations (12-issue)");
 
     LatencyTable lat;
     TextTable lats({"operation", "latency", "occupancy"});
+    MetricTable latMetrics;
+    latMetrics.title = "Table 1 (cont.): operation latencies";
+    latMetrics.labelColumns = {"operation"};
+    latMetrics.valueColumns = {"latency", "occupancy"};
     for (Opcode op :
          {Opcode::IAlu, Opcode::IMul, Opcode::IDiv, Opcode::FAdd,
           Opcode::FMul, Opcode::FDiv, Opcode::Load, Opcode::Store}) {
         lats.addRow({toString(op), std::to_string(lat.latency(op)),
                      std::to_string(lat.occupancy(op))});
+        latMetrics.addRow(
+            {toString(op)},
+            {static_cast<double>(lat.latency(op)),
+             static_cast<double>(lat.occupancy(op))});
     }
     lats.print(std::cout,
                "Table 1 (cont.): operation latencies "
                "(companion-paper values; DESIGN.md subst. 3)");
+    emitMetricTablesJson(options, "table1_configs",
+                         {configMetrics, latMetrics}, nullptr);
     return 0;
 }

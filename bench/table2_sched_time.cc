@@ -83,8 +83,7 @@ writeJson(std::ostream &os, const std::vector<MeasuredCase> &rows,
 int
 main(int argc, char **argv)
 {
-    BenchOptions options =
-        parseBenchArgs(argc, argv, /*json_supported=*/true);
+    BenchOptions options = parseBenchArgs(argc, argv);
     LatencyTable lat;
     auto suite = benchSuite(lat, options);
     const int reps = options.reps(10);
@@ -94,29 +93,21 @@ main(int argc, char **argv)
     // concurrency and caching would only distort.
     TextTable table({"configuration", "URACAM (s)", "Fixed (s)",
                      "GP (s)", "URACAM/GP"});
-    struct Case
-    {
-        const char *name;
-        MachineConfig m;
-    };
-    std::vector<Case> cases = {
-        {"2-cluster, 32 regs, bus lat 1", twoClusterConfig(32, 1)},
-        {"2-cluster, 64 regs, bus lat 1", twoClusterConfig(64, 1)},
-        {"4-cluster, 32 regs, bus lat 1", fourClusterConfig(32, 1)},
-        {"4-cluster, 64 regs, bus lat 1", fourClusterConfig(64, 1)},
-        {"4-cluster, 32 regs, bus lat 2", fourClusterConfig(32, 2)},
-        {"4-cluster, 64 regs, bus lat 2", fourClusterConfig(64, 2)},
-    };
+    std::vector<MachineConfig> machines = benchMachines(
+        options,
+        {twoClusterConfig(32, 1), twoClusterConfig(64, 1),
+         fourClusterConfig(32, 1), fourClusterConfig(64, 1),
+         fourClusterConfig(32, 2), fourClusterConfig(64, 2)});
     std::vector<MeasuredCase> measured;
-    for (const Case &c : cases) {
+    for (const MachineConfig &m : machines) {
         MeasuredCase row;
-        row.name = c.name;
+        row.name = m.name();
         row.uracamSeconds =
-            averageSeconds(suite, c.m, SchedulerKind::Uracam, reps);
+            averageSeconds(suite, m, SchedulerKind::Uracam, reps);
         row.fixedSeconds = averageSeconds(
-            suite, c.m, SchedulerKind::FixedPartition, reps);
+            suite, m, SchedulerKind::FixedPartition, reps);
         row.gpSeconds =
-            averageSeconds(suite, c.m, SchedulerKind::Gp, reps);
+            averageSeconds(suite, m, SchedulerKind::Gp, reps);
         table.addRow({row.name, TextTable::num(row.uracamSeconds, 3),
                       TextTable::num(row.fixedSeconds, 3),
                       TextTable::num(row.gpSeconds, 3),

@@ -66,11 +66,55 @@ Engine::runJob(const EngineJob &job)
         result.loopName = job.loop->name();
         return result;
     }
+
+    // Coalesce duplicates submitted concurrently: the first job for
+    // a key becomes the owner and compiles; later ones await its
+    // shared future. The owner publishes to the cache before
+    // retiring the in-flight entry, and the re-check below runs
+    // under the in-flight lock, so a key is compiled exactly once no
+    // matter how submissions interleave.
+    std::shared_future<CompiledLoop> pending;
+    std::promise<CompiledLoop> promise;
+    {
+        std::lock_guard<std::mutex> lock(inflightMutex_);
+        if (cache_.lookup(key, result)) {
+            cacheHits_.fetch_add(1, std::memory_order_relaxed);
+            result.loopName = job.loop->name();
+            return result;
+        }
+        auto it = inflight_.find(key.canonical);
+        if (it != inflight_.end()) {
+            pending = it->second;
+        } else {
+            inflight_.emplace(key.canonical,
+                              promise.get_future().share());
+        }
+    }
+    if (pending.valid()) {
+        coalesced_.fetch_add(1, std::memory_order_relaxed);
+        result = pending.get();
+        result.loopName = job.loop->name();
+        return result;
+    }
     cacheMisses_.fetch_add(1, std::memory_order_relaxed);
 
-    LoopCompiler compiler(*job.machine, job.kind, job.options);
-    result = compiler.compile(*job.loop);
+    try {
+        LoopCompiler compiler(*job.machine, job.kind, job.options);
+        result = compiler.compile(*job.loop);
+    } catch (...) {
+        // Propagate the failure to coalesced waiters and retire the
+        // in-flight entry, or this key would stay wedged forever.
+        promise.set_exception(std::current_exception());
+        std::lock_guard<std::mutex> lock(inflightMutex_);
+        inflight_.erase(key.canonical);
+        throw;
+    }
     cache_.insert(key, result);
+    promise.set_value(result);
+    {
+        std::lock_guard<std::mutex> lock(inflightMutex_);
+        inflight_.erase(key.canonical);
+    }
     return result;
 }
 
@@ -101,6 +145,7 @@ Engine::stats() const
         jobsSubmitted_.load(std::memory_order_relaxed);
     stats.cacheHits = cacheHits_.load(std::memory_order_relaxed);
     stats.cacheMisses = cacheMisses_.load(std::memory_order_relaxed);
+    stats.coalesced = coalesced_.load(std::memory_order_relaxed);
     return stats;
 }
 

@@ -23,6 +23,10 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <future>
+#include <mutex>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/gp_scheduler.hh"
@@ -74,6 +78,12 @@ struct EngineStats
     std::uint64_t cacheHits = 0;
     std::uint64_t cacheMisses = 0;
 
+    /** Jobs that awaited an identical in-flight compilation instead
+     *  of compiling (duplicates submitted concurrently). Every
+     *  unique key is compiled exactly once: cacheMisses counts the
+     *  actual compilations. */
+    std::uint64_t coalesced = 0;
+
     /** cacheHits / jobsSubmitted; 0 before any job ran. */
     double hitRate() const;
 };
@@ -116,9 +126,19 @@ class Engine
     int jobs_;
     ThreadPool pool_;
     ResultCache cache_;
+
+    /** Compilations currently running, keyed by canonical LoopKey.
+     *  A duplicate submission awaits the owner's shared future
+     *  instead of compiling; the owner publishes to the cache before
+     *  retiring its entry, so every unique key compiles once. */
+    std::mutex inflightMutex_;
+    std::unordered_map<std::string, std::shared_future<CompiledLoop>>
+        inflight_;
+
     std::atomic<std::uint64_t> jobsSubmitted_{0};
     std::atomic<std::uint64_t> cacheHits_{0};
     std::atomic<std::uint64_t> cacheMisses_{0};
+    std::atomic<std::uint64_t> coalesced_{0};
 };
 
 } // namespace gpsched

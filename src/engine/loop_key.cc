@@ -73,12 +73,23 @@ encodeDdg(Encoder &enc, const Ddg &ddg)
 void
 encodeMachine(Encoder &enc, const MachineConfig &machine)
 {
+    // Full per-cluster encoding: machines differing in a single
+    // cluster's FU mix or register file, or in any bus class, must
+    // never alias. Cluster display names are excluded (they do not
+    // affect scheduling), matching the loop-name exclusion policy.
     enc.field('C', machine.numClusters());
-    for (int k = 0; k < numFuClasses; ++k)
-        enc.field('F', machine.fuPerCluster(static_cast<FuClass>(k)));
-    enc.field('R', machine.totalRegs());
-    enc.field('B', machine.numBuses());
-    enc.field('L', machine.busLatency());
+    for (int c = 0; c < machine.numClusters(); ++c) {
+        for (int k = 0; k < numFuClasses; ++k) {
+            enc.field('F',
+                      machine.fuInCluster(c, static_cast<FuClass>(k)));
+        }
+        enc.field('R', machine.regsInCluster(c));
+    }
+    enc.field('B', machine.numBusClasses());
+    for (int i = 0; i < machine.numBusClasses(); ++i) {
+        enc.field('N', machine.busClass(i).count);
+        enc.field('L', machine.busClass(i).latency);
+    }
     const LatencyTable &lat = machine.latencies();
     for (int op = 0; op < numOpcodes; ++op) {
         const OpTiming &t = lat.timing(static_cast<Opcode>(op));

@@ -1,5 +1,6 @@
 #include "machine/machine.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "support/logging.hh"
@@ -7,13 +8,52 @@
 namespace gpsched
 {
 
+int
+ClusterDesc::issueWidth() const
+{
+    int width = 0;
+    for (int i = 0; i < numFuClasses; ++i)
+        width += fu[i];
+    return width;
+}
+
+bool
+ClusterDesc::sameResources(const ClusterDesc &other) const
+{
+    for (int i = 0; i < numFuClasses; ++i) {
+        if (fu[i] != other.fu[i])
+            return false;
+    }
+    return regs == other.regs;
+}
+
+MachineConfig::MachineConfig(std::string name,
+                             std::vector<ClusterDesc> clusters,
+                             std::vector<BusDesc> buses)
+    : name_(std::move(name)), clusters_(std::move(clusters)),
+      buses_(std::move(buses))
+{
+    for (std::size_t c = 0; c < clusters_.size(); ++c) {
+        if (clusters_[c].name.empty())
+            clusters_[c].name = "c" + std::to_string(c);
+    }
+    // Canonical bus-class order: fastest first (the transfer planner
+    // tries classes in order), count as tie-break. Equal machines
+    // thus encode identically regardless of declaration order.
+    std::stable_sort(buses_.begin(), buses_.end(),
+                     [](const BusDesc &a, const BusDesc &b) {
+                         if (a.latency != b.latency)
+                             return a.latency < b.latency;
+                         return a.count < b.count;
+                     });
+    validate();
+}
+
 MachineConfig::MachineConfig(std::string name, int num_clusters,
                              int int_units, int fp_units, int mem_units,
                              int total_regs, int num_buses,
                              int bus_latency)
-    : name_(std::move(name)), numClusters_(num_clusters),
-      totalRegs_(total_regs), numBuses_(num_buses),
-      busLatency_(bus_latency)
+    : name_(std::move(name))
 {
     if (num_clusters < 1)
         GPSCHED_FATAL("machine needs at least one cluster");
@@ -25,59 +65,193 @@ MachineConfig::MachineConfig(std::string name, int num_clusters,
         GPSCHED_FATAL("total registers (", total_regs,
                       ") must divide evenly among ", num_clusters,
                       " clusters");
-    if (num_clusters > 1 && num_buses < 1)
-        GPSCHED_FATAL("clustered machines need at least one bus");
     if (num_buses > 0 && bus_latency < 1)
         GPSCHED_FATAL("bus latency must be >= 1");
 
-    fuPerCluster_[static_cast<int>(FuClass::Int)] = int_units;
-    fuPerCluster_[static_cast<int>(FuClass::Fp)] = fp_units;
-    fuPerCluster_[static_cast<int>(FuClass::Mem)] = mem_units;
+    clusters_.resize(num_clusters);
+    for (int c = 0; c < num_clusters; ++c) {
+        ClusterDesc &cl = clusters_[c];
+        cl.name = "c" + std::to_string(c);
+        cl.fu[static_cast<int>(FuClass::Int)] = int_units;
+        cl.fu[static_cast<int>(FuClass::Fp)] = fp_units;
+        cl.fu[static_cast<int>(FuClass::Mem)] = mem_units;
+        cl.regs = total_regs / num_clusters;
+    }
+    if (num_buses > 0)
+        buses_.push_back(BusDesc{num_buses, bus_latency});
+    validate();
+}
+
+void
+MachineConfig::validate() const
+{
+    if (clusters_.empty())
+        GPSCHED_FATAL("machine needs at least one cluster");
+    for (const ClusterDesc &cl : clusters_) {
+        for (int k = 0; k < numFuClasses; ++k) {
+            if (cl.fu[k] < 0)
+                GPSCHED_FATAL("cluster '", cl.name,
+                              "' has a negative ",
+                              toString(static_cast<FuClass>(k)),
+                              " unit count");
+        }
+        if (cl.issueWidth() < 1)
+            GPSCHED_FATAL("cluster '", cl.name,
+                          "' has no functional units");
+        if (cl.regs < 1)
+            GPSCHED_FATAL("cluster '", cl.name,
+                          "' needs at least one register");
+    }
+    for (int k = 0; k < numFuClasses; ++k) {
+        if (totalFu(static_cast<FuClass>(k)) < 1)
+            GPSCHED_FATAL("machine has no ",
+                          toString(static_cast<FuClass>(k)),
+                          " unit in any cluster");
+    }
+    if (clusters_.size() > 1 && numBuses() < 1)
+        GPSCHED_FATAL("clustered machines need at least one bus");
+    for (const BusDesc &bus : buses_) {
+        if (bus.count < 1)
+            GPSCHED_FATAL("bus class needs a positive count");
+        if (bus.latency < 1)
+            GPSCHED_FATAL("bus latency must be >= 1");
+    }
+}
+
+bool
+MachineConfig::homogeneous() const
+{
+    for (std::size_t c = 1; c < clusters_.size(); ++c) {
+        if (!clusters_[c].sameResources(clusters_[0]))
+            return false;
+    }
+    return true;
+}
+
+const ClusterDesc &
+MachineConfig::cluster(int c) const
+{
+    GPSCHED_ASSERT(c >= 0 && c < numClusters(), "bad cluster ", c);
+    return clusters_[c];
 }
 
 int
-MachineConfig::fuPerCluster(FuClass cls) const
+MachineConfig::fuInCluster(int c, FuClass cls) const
 {
     int idx = static_cast<int>(cls);
     GPSCHED_ASSERT(idx >= 0 && idx < numFuClasses, "bad FuClass");
-    return fuPerCluster_[idx];
+    return cluster(c).fu[idx];
 }
 
 int
 MachineConfig::totalFu(FuClass cls) const
 {
-    return fuPerCluster(cls) * numClusters_;
-}
-
-int
-MachineConfig::issueWidthPerCluster() const
-{
-    int width = 0;
-    for (int i = 0; i < numFuClasses; ++i)
-        width += fuPerCluster_[i];
-    return width;
+    int idx = static_cast<int>(cls);
+    GPSCHED_ASSERT(idx >= 0 && idx < numFuClasses, "bad FuClass");
+    int total = 0;
+    for (const ClusterDesc &cl : clusters_)
+        total += cl.fu[idx];
+    return total;
 }
 
 int
 MachineConfig::totalIssueWidth() const
 {
-    return issueWidthPerCluster() * numClusters_;
+    int width = 0;
+    for (const ClusterDesc &cl : clusters_)
+        width += cl.issueWidth();
+    return width;
+}
+
+int
+MachineConfig::totalRegs() const
+{
+    int total = 0;
+    for (const ClusterDesc &cl : clusters_)
+        total += cl.regs;
+    return total;
+}
+
+int
+MachineConfig::fuPerCluster(FuClass cls) const
+{
+    GPSCHED_ASSERT(homogeneous(),
+                   "fuPerCluster on heterogeneous machine '", name_,
+                   "'; use fuInCluster(c, cls)");
+    return fuInCluster(0, cls);
 }
 
 int
 MachineConfig::regsPerCluster() const
 {
-    return totalRegs_ / numClusters_;
+    GPSCHED_ASSERT(homogeneous(),
+                   "regsPerCluster on heterogeneous machine '", name_,
+                   "'; use regsInCluster(c)");
+    return clusters_[0].regs;
+}
+
+int
+MachineConfig::issueWidthPerCluster() const
+{
+    GPSCHED_ASSERT(homogeneous(),
+                   "issueWidthPerCluster on heterogeneous machine '",
+                   name_, "'; use issueWidthOfCluster(c)");
+    return clusters_[0].issueWidth();
+}
+
+const BusDesc &
+MachineConfig::busClass(int i) const
+{
+    GPSCHED_ASSERT(i >= 0 && i < numBusClasses(), "bad bus class ", i);
+    return buses_[i];
+}
+
+int
+MachineConfig::numBuses() const
+{
+    int total = 0;
+    for (const BusDesc &bus : buses_)
+        total += bus.count;
+    return total;
+}
+
+int
+MachineConfig::busLatency() const
+{
+    GPSCHED_ASSERT(buses_.size() <= 1,
+                   "busLatency on multi-bus-class machine '", name_,
+                   "'; use busLatencyOf(i)");
+    return buses_.empty() ? 1 : buses_[0].latency;
+}
+
+int
+MachineConfig::minBusLatency() const
+{
+    // Classes are sorted by ascending latency.
+    return buses_.empty() ? 1 : buses_.front().latency;
+}
+
+int
+MachineConfig::maxBusLatency() const
+{
+    return buses_.empty() ? 1 : buses_.back().latency;
 }
 
 MachineConfig
 MachineConfig::withTotalRegs(int regs, const std::string &name) const
 {
-    MachineConfig copy(name, numClusters_,
-                       fuPerCluster(FuClass::Int),
-                       fuPerCluster(FuClass::Fp),
-                       fuPerCluster(FuClass::Mem),
-                       regs, numBuses_, busLatency_);
+    GPSCHED_ASSERT(homogeneous(),
+                   "withTotalRegs on heterogeneous machine '", name_,
+                   "'");
+    const int num_clusters = numClusters();
+    if (regs < num_clusters || regs % num_clusters != 0)
+        GPSCHED_FATAL("total registers (", regs,
+                      ") must divide evenly among ", num_clusters,
+                      " clusters");
+    std::vector<ClusterDesc> clusters = clusters_;
+    for (ClusterDesc &cl : clusters)
+        cl.regs = regs / num_clusters;
+    MachineConfig copy(name, std::move(clusters), buses_);
     copy.latencies_ = latencies_;
     return copy;
 }
@@ -85,11 +259,20 @@ MachineConfig::withTotalRegs(int regs, const std::string &name) const
 MachineConfig
 MachineConfig::withBusLatency(int latency) const
 {
-    MachineConfig copy(name_, numClusters_,
-                       fuPerCluster(FuClass::Int),
-                       fuPerCluster(FuClass::Fp),
-                       fuPerCluster(FuClass::Mem),
-                       totalRegs_, numBuses_, latency);
+    GPSCHED_ASSERT(buses_.size() == 1,
+                   "withBusLatency needs exactly one bus class");
+    std::vector<BusDesc> buses = buses_;
+    buses[0].latency = latency;
+    MachineConfig copy(name_, clusters_, std::move(buses));
+    copy.latencies_ = latencies_;
+    return copy;
+}
+
+MachineConfig
+MachineConfig::withBusClasses(std::vector<BusDesc> buses,
+                              const std::string &name) const
+{
+    MachineConfig copy(name, clusters_, std::move(buses));
     copy.latencies_ = latencies_;
     return copy;
 }
@@ -98,15 +281,46 @@ std::string
 MachineConfig::summary() const
 {
     std::ostringstream oss;
-    oss << name_ << ": " << numClusters_ << " cluster(s) x ["
-        << fuPerCluster(FuClass::Int) << " INT, "
-        << fuPerCluster(FuClass::Fp) << " FP, "
-        << fuPerCluster(FuClass::Mem) << " MEM, "
-        << regsPerCluster() << " regs]";
-    if (numClusters_ > 1) {
-        oss << ", " << numBuses_ << " bus(es) lat " << busLatency_;
+    oss << name_ << ": ";
+    if (homogeneous()) {
+        oss << numClusters() << " cluster(s) x ["
+            << fuInCluster(0, FuClass::Int) << " INT, "
+            << fuInCluster(0, FuClass::Fp) << " FP, "
+            << fuInCluster(0, FuClass::Mem) << " MEM, "
+            << clusters_[0].regs << " regs]";
+    } else {
+        for (int c = 0; c < numClusters(); ++c) {
+            const ClusterDesc &cl = clusters_[c];
+            if (c > 0)
+                oss << " + ";
+            oss << cl.name << "[" << cl.fu[0] << " INT, " << cl.fu[1]
+                << " FP, " << cl.fu[2] << " MEM, " << cl.regs
+                << " regs]";
+        }
     }
+    for (const BusDesc &bus : buses_)
+        oss << ", " << bus.count << " bus(es) lat " << bus.latency;
     return oss.str();
+}
+
+bool
+MachineConfig::operator==(const MachineConfig &other) const
+{
+    if (name_ != other.name_ ||
+        clusters_.size() != other.clusters_.size() ||
+        buses_.size() != other.buses_.size())
+        return false;
+    for (std::size_t c = 0; c < clusters_.size(); ++c) {
+        if (clusters_[c].name != other.clusters_[c].name ||
+            !clusters_[c].sameResources(other.clusters_[c]))
+            return false;
+    }
+    for (std::size_t i = 0; i < buses_.size(); ++i) {
+        if (buses_[i].count != other.buses_[i].count ||
+            buses_[i].latency != other.buses_[i].latency)
+            return false;
+    }
+    return latencies_ == other.latencies_;
 }
 
 } // namespace gpsched

@@ -90,6 +90,16 @@ struct OpTiming
 {
     int latency = 1;
     int occupancy = 1;
+
+    bool operator==(const OpTiming &other) const
+    {
+        return latency == other.latency &&
+               occupancy == other.occupancy;
+    }
+    bool operator!=(const OpTiming &other) const
+    {
+        return !(*this == other);
+    }
 };
 
 /**
@@ -114,6 +124,19 @@ class LatencyTable
 
     /** Shorthand for timing(op).occupancy. */
     int occupancy(Opcode op) const { return timing(op).occupancy; }
+
+    bool operator==(const LatencyTable &other) const
+    {
+        for (int i = 0; i < numOpcodes; ++i) {
+            if (timings_[i] != other.timings_[i])
+                return false;
+        }
+        return true;
+    }
+    bool operator!=(const LatencyTable &other) const
+    {
+        return !(*this == other);
+    }
 
   private:
     OpTiming timings_[numOpcodes];

@@ -1,0 +1,111 @@
+#include "machine/registry.hh"
+
+#include "machine/configs.hh"
+#include "machine/machine_desc.hh"
+#include "support/logging.hh"
+
+namespace gpsched
+{
+
+MachineRegistry::MachineRegistry()
+{
+    for (const MachineConfig &preset : table1Configs()) {
+        // Route every preset through the description layer: write,
+        // parse back, and insist on exact equality. Registry users
+        // therefore always exercise the same code path as user
+        // `.machine` files, and a writer/parser regression cannot
+        // silently skew the paper reproduction.
+        MachineParseError error;
+        std::optional<MachineConfig> parsed =
+            parseMachineDescText(machineDescText(preset), &error);
+        GPSCHED_ASSERT(parsed.has_value(),
+                       "preset '", preset.name(),
+                       "' failed to round-trip: ", error.toString());
+        GPSCHED_ASSERT(*parsed == preset, "preset '", preset.name(),
+                       "' changed across a description round-trip");
+        add(std::move(*parsed));
+    }
+}
+
+const MachineRegistry &
+MachineRegistry::builtin()
+{
+    static const MachineRegistry registry;
+    return registry;
+}
+
+std::vector<std::string>
+MachineRegistry::names() const
+{
+    std::vector<std::string> names;
+    names.reserve(configs_.size());
+    for (const MachineConfig &config : configs_)
+        names.push_back(config.name());
+    return names;
+}
+
+std::string
+MachineRegistry::namesSummary() const
+{
+    std::string summary;
+    for (const MachineConfig &config : configs_) {
+        if (!summary.empty())
+            summary += "|";
+        summary += config.name();
+    }
+    return summary;
+}
+
+const MachineConfig *
+MachineRegistry::find(const std::string &name) const
+{
+    for (const MachineConfig &config : configs_) {
+        if (config.name() == name)
+            return &config;
+    }
+    return nullptr;
+}
+
+MachineConfig
+MachineRegistry::get(const std::string &name) const
+{
+    const MachineConfig *config = find(name);
+    if (!config)
+        GPSCHED_FATAL("unknown machine '", name, "' (known: ",
+                      namesSummary(), ")");
+    return *config;
+}
+
+void
+MachineRegistry::add(MachineConfig config)
+{
+    if (find(config.name()))
+        GPSCHED_FATAL("duplicate machine name '", config.name(), "'");
+    configs_.push_back(std::move(config));
+}
+
+MachineConfig
+MachineRegistry::resolve(const std::string &name_or_path) const
+{
+    if (const MachineConfig *config = find(name_or_path))
+        return *config;
+    bool looks_like_path =
+        name_or_path.find('/') != std::string::npos ||
+        (name_or_path.size() > 8 &&
+         name_or_path.compare(name_or_path.size() - 8, 8,
+                              ".machine") == 0);
+    if (looks_like_path)
+        return loadMachineFile(name_or_path);
+    GPSCHED_FATAL("unknown machine '", name_or_path,
+                  "': not a registered name (known: ", namesSummary(),
+                  ") and not a .machine file path");
+}
+
+const MachineConfig &
+MachineRegistry::at(int i) const
+{
+    GPSCHED_ASSERT(i >= 0 && i < size(), "bad registry index ", i);
+    return configs_[i];
+}
+
+} // namespace gpsched

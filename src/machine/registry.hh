@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Named machine registry: serves the paper's Table-1 presets — each
+ * routed through the `.machine` description layer, so the text format
+ * is exercised on every lookup path — and resolves user-supplied
+ * names or `.machine` file paths for the CLI and bench drivers.
+ */
+
+#ifndef GPSCHED_MACHINE_REGISTRY_HH
+#define GPSCHED_MACHINE_REGISTRY_HH
+
+#include <string>
+#include <vector>
+
+#include "machine/machine.hh"
+
+namespace gpsched
+{
+
+/** Ordered collection of named machine configurations. */
+class MachineRegistry
+{
+  public:
+    /**
+     * Builds a registry holding every Table-1 preset
+     * (machine/configs.hh), each one serialized to `.machine` text
+     * and parsed back — the registry fails fast if the description
+     * layer ever stops round-tripping the presets exactly.
+     */
+    MachineRegistry();
+
+    /** Shared read-only instance with the built-in presets. */
+    static const MachineRegistry &builtin();
+
+    /** Registered names, in registration order. */
+    std::vector<std::string> names() const;
+
+    /** Registered names joined for diagnostics ("a|b|c"). */
+    std::string namesSummary() const;
+
+    /** Looks @p name up; nullptr when absent. */
+    const MachineConfig *find(const std::string &name) const;
+
+    /** Looks @p name up; fatal (listing known names) when absent. */
+    MachineConfig get(const std::string &name) const;
+
+    /** Registers @p config under its name; fatal on duplicates. */
+    void add(MachineConfig config);
+
+    /**
+     * Resolves a user-supplied machine spec: a registered name, or a
+     * path to a `.machine` file (recognized by a '/' or a ".machine"
+     * suffix). Fatal with a helpful message when neither works.
+     */
+    MachineConfig resolve(const std::string &name_or_path) const;
+
+    /** Number of registered machines. */
+    int size() const { return static_cast<int>(configs_.size()); }
+
+    /** Registered machine @p i in registration order. */
+    const MachineConfig &at(int i) const;
+
+  private:
+    std::vector<MachineConfig> configs_;
+};
+
+} // namespace gpsched
+
+#endif // GPSCHED_MACHINE_REGISTRY_HH

@@ -1,6 +1,8 @@
 #include "partition/estimator.hh"
 
 #include <algorithm>
+#include <climits>
+#include <limits>
 
 #include "graph/ddg_analysis.hh"
 #include "sched/lifetime.hh"
@@ -39,9 +41,14 @@ double
 PartitionEstimator::utilization(const Partition &partition, int cluster,
                                 FuClass cls) const
 {
-    int slots = machine_.fuPerCluster(cls) * ii_;
-    return static_cast<double>(occupancy(partition, cluster, cls)) /
-           static_cast<double>(slots);
+    int occ = occupancy(partition, cluster, cls);
+    int slots = machine_.fuInCluster(cluster, cls) * ii_;
+    if (slots == 0) {
+        // A cluster without this unit class: empty is fine, any
+        // assigned occupancy is infinitely overloaded.
+        return occ > 0 ? std::numeric_limits<double>::infinity() : 0.0;
+    }
+    return static_cast<double>(occ) / static_cast<double>(slots);
 }
 
 bool
@@ -50,7 +57,7 @@ PartitionEstimator::resourcesOk(const Partition &partition) const
     for (int c = 0; c < machine_.numClusters(); ++c) {
         for (int k = 0; k < numFuClasses; ++k) {
             FuClass cls = static_cast<FuClass>(k);
-            int slots = machine_.fuPerCluster(cls) * ii_;
+            int slots = machine_.fuInCluster(c, cls) * ii_;
             if (occupancy(partition, c, cls) > slots)
                 return false;
         }
@@ -66,7 +73,14 @@ PartitionEstimator::perClusterResMii(const Partition &partition) const
         for (int k = 0; k < numFuClasses; ++k) {
             FuClass cls = static_cast<FuClass>(k);
             int occ = occupancy(partition, c, cls);
-            int fus = machine_.fuPerCluster(cls);
+            int fus = machine_.fuInCluster(c, cls);
+            if (fus == 0) {
+                // No II makes a missing unit class feasible; resource
+                // rebalancing, not II growth, must fix this.
+                if (occ > 0)
+                    worst = std::max(worst, INT_MAX / 2);
+                continue;
+            }
             worst = std::max(worst, (occ + fus - 1) / fus);
         }
     }
@@ -92,11 +106,14 @@ PartitionEstimator::evaluate(const Partition &partition) const
     int res_mii = 1;
     for (int c = 0; c < clusters; ++c) {
         for (int k = 0; k < numFuClasses; ++k) {
-            int fus = machine_.fuPerCluster(static_cast<FuClass>(k));
+            int fus = machine_.fuInCluster(c, static_cast<FuClass>(k));
             int o = occ[c * numFuClasses + k];
             if (o > fus * ii_)
                 est.resourcesOk = false;
-            res_mii = std::max(res_mii, (o + fus - 1) / fus);
+            if (fus > 0)
+                res_mii = std::max(res_mii, (o + fus - 1) / fus);
+            // fus == 0 with assigned ops: no II helps; the overload
+            // penalty below ranks the partition last.
         }
     }
 
@@ -110,7 +127,8 @@ PartitionEstimator::evaluate(const Partition &partition) const
         const auto &edge = ddg_.edge(e);
         if (edge.isFlow() && partition.clusterOf(edge.src) !=
                                  partition.clusterOf(edge.dst)) {
-            extra[e] = machine_.busLatency();
+            // Optimistic: a cut value travels on the fastest bus.
+            extra[e] = machine_.minBusLatency();
         }
     }
 
@@ -161,7 +179,7 @@ PartitionEstimator::evaluate(const Partition &partition) const
         std::vector<LifetimeTracker> live;
         live.reserve(clusters);
         for (int c = 0; c < clusters; ++c)
-            live.emplace_back(machine_.regsPerCluster(), iiFeas);
+            live.emplace_back(machine_.regsInCluster(c), iiFeas);
         for (NodeId v = 0; v < ddg_.numNodes(); ++v) {
             if (!definesValue(ddg_.node(v).opcode))
                 continue;
@@ -185,7 +203,7 @@ PartitionEstimator::evaluate(const Partition &partition) const
         for (int c = 0; c < clusters; ++c) {
             est.regPressure[c] = live[c].maxLive();
             overflow += std::max(0, est.regPressure[c] -
-                                        machine_.regsPerCluster());
+                                        machine_.regsInCluster(c));
         }
         est.execTime +=
             overflow * std::max<std::int64_t>(

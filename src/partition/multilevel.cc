@@ -32,9 +32,12 @@ GpPartitioner::run(const Ddg &ddg, int ii) const
     }
 
     // --- 1. edge weights at the input II -----------------------------
+    // Heterogeneous bus fabrics weight cut edges by the fastest bus
+    // (optimistic, matching the estimator's communication model).
     std::vector<std::int64_t> weights =
         computeEdgeWeights(ddg, machine_.latencies(), ii,
-                           machine_.busLatency(), options_.edgeWeights);
+                           machine_.minBusLatency(),
+                           options_.edgeWeights);
 
     // --- 2. coarsen ---------------------------------------------------
     Rng rng(options_.seed);
@@ -42,10 +45,19 @@ GpPartitioner::run(const Ddg &ddg, int ii) const
                                   options_.matching, rng);
 
     // --- 3. initial assignment: heaviest macro-nodes first, one per
-    //        cluster (clusters are homogeneous) ------------------------
+    //        cluster. Clusters are visited widest-issue first so a
+    //        heterogeneous machine hands its biggest cluster the
+    //        heaviest macro-node (a stable no-op when homogeneous) ----
     const CoarseLevel &coarsest = hierarchy.coarsest();
     Partition partition(ddg.numNodes(), clusters);
     {
+        std::vector<int> cluster_order(clusters);
+        std::iota(cluster_order.begin(), cluster_order.end(), 0);
+        std::stable_sort(cluster_order.begin(), cluster_order.end(),
+                         [&](int a, int b) {
+                             return machine_.issueWidthOfCluster(a) >
+                                    machine_.issueWidthOfCluster(b);
+                         });
         std::vector<int> order(coarsest.numNodes());
         std::iota(order.begin(), order.end(), 0);
         std::sort(order.begin(), order.end(), [&](int x, int y) {
@@ -56,7 +68,7 @@ GpPartitioner::run(const Ddg &ddg, int ii) const
             return x < y;
         });
         for (std::size_t i = 0; i < order.size(); ++i) {
-            int cluster = static_cast<int>(i) % clusters;
+            int cluster = cluster_order[i % clusters];
             for (NodeId v : coarsest.members[order[i]])
                 partition.assign(v, cluster);
         }

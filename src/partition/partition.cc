@@ -1,5 +1,6 @@
 #include "partition/partition.hh"
 
+#include <algorithm>
 #include <set>
 
 #include "support/logging.hh"
@@ -84,9 +85,30 @@ iiBusBound(const Ddg &ddg, const Partition &partition,
     if (machine.unified())
         return 0;
     int ncomm = numCommunications(ddg, partition);
-    long busy = static_cast<long>(ncomm) * machine.busLatency();
-    long buses = machine.numBuses();
-    return static_cast<int>((busy + buses - 1) / buses);
+    if (ncomm == 0)
+        return 0;
+    // Smallest II whose kernel can carry ncomm transfers: bus class i
+    // contributes floor(count_i * II / latency_i) transfers per
+    // kernel. For a single class this reduces to the closed form
+    // ceil(ncomm * latency / count).
+    auto capacity = [&](long ii) {
+        long total = 0;
+        for (int i = 0; i < machine.numBusClasses(); ++i) {
+            const BusDesc &bus = machine.busClass(i);
+            total += bus.count * ii / bus.latency;
+        }
+        return total;
+    };
+    double per_cycle = 0.0;
+    for (int i = 0; i < machine.numBusClasses(); ++i) {
+        const BusDesc &bus = machine.busClass(i);
+        per_cycle += static_cast<double>(bus.count) / bus.latency;
+    }
+    long ii = std::max(
+        1L, static_cast<long>(ncomm / per_cycle) - 1);
+    while (capacity(ii) < ncomm)
+        ++ii;
+    return static_cast<int>(ii);
 }
 
 } // namespace gpsched

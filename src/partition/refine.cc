@@ -116,8 +116,8 @@ PartitionRefiner::runBalancePass(const CoarseLevel &level,
         occ[partition.clusterOf(v)][static_cast<int>(fuClassOf(op))] +=
             lat.occupancy(op);
     }
-    auto slots = [&](int k) {
-        return machine_.fuPerCluster(static_cast<FuClass>(k)) * ii_;
+    auto slots = [&](int c, int k) {
+        return machine_.fuInCluster(c, static_cast<FuClass>(k)) * ii_;
     };
 
     bool changedAny = false;
@@ -130,8 +130,13 @@ PartitionRefiner::runBalancePass(const CoarseLevel &level,
         double bestRatio = 1.0;
         for (int c = 0; c < clusters; ++c) {
             for (int k = 0; k < numFuClasses; ++k) {
-                double ratio = static_cast<double>(occ[c][k]) /
-                               static_cast<double>(slots(k));
+                int s = slots(c, k);
+                // A class the cluster lacks entirely is infinitely
+                // saturated the moment anything is assigned to it.
+                double ratio =
+                    s == 0 ? (occ[c][k] > 0 ? 1e9 : 0.0)
+                           : static_cast<double>(occ[c][k]) /
+                                 static_cast<double>(s);
                 if (ratio > bestRatio) {
                     bestRatio = ratio;
                     bestC = c;
@@ -163,13 +168,13 @@ PartitionRefiner::runBalancePass(const CoarseLevel &level,
                     continue;
                 // Must not overload this resource in c2, nor any
                 // resource already considered (more critical).
-                bool ok = occ[c2][bestK] + mocc <= slots(bestK);
+                bool ok = occ[c2][bestK] + mocc <= slots(c2, bestK);
                 for (int k = 0; ok && k < numFuClasses; ++k) {
                     if (!considered[k] || k == bestK)
                         continue;
                     int mk = macroOccupancy(
                         m, static_cast<FuClass>(k));
-                    ok = occ[c2][k] + mk <= slots(k);
+                    ok = occ[c2][k] + mk <= slots(c2, k);
                 }
                 if (!ok)
                     continue;
@@ -211,8 +216,8 @@ PartitionRefiner::runEdgeImpactPass(const CoarseLevel &level,
 
     PartitionEstimate current = estimator_.evaluate(partition);
 
-    auto slotOf = [&](int k) {
-        return machine_.fuPerCluster(static_cast<FuClass>(k)) * ii_;
+    auto slotOf = [&](int c, int k) {
+        return machine_.fuInCluster(c, static_cast<FuClass>(k)) * ii_;
     };
 
     // Occupancy table for feasibility tests: built once, then kept
@@ -243,7 +248,7 @@ PartitionRefiner::runEdgeImpactPass(const CoarseLevel &level,
             for (int k = 0; k < numFuClasses; ++k) {
                 int mk =
                     macroOccupancy(macro, static_cast<FuClass>(k));
-                if (occ[to][k] + mk > slotOf(k))
+                if (occ[to][k] + mk > slotOf(to, k))
                     return false;
                 (void)from;
             }
@@ -255,9 +260,9 @@ PartitionRefiner::runEdgeImpactPass(const CoarseLevel &level,
                 FuClass cls = static_cast<FuClass>(k);
                 int ak = macroOccupancy(ma, cls);
                 int bk = macroOccupancy(mb, cls);
-                if (occ[cb][k] - bk + ak > slotOf(k))
+                if (occ[cb][k] - bk + ak > slotOf(cb, k))
                     return false;
-                if (occ[ca][k] - ak + bk > slotOf(k))
+                if (occ[ca][k] - ak + bk > slotOf(ca, k))
                     return false;
             }
             return true;

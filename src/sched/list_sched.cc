@@ -91,7 +91,7 @@ listSchedule(const Ddg &ddg, const MachineConfig &machine)
     const LatencyTable &lat = machine.latencies();
     const int n = ddg.numNodes();
     const int num_clusters = machine.numClusters();
-    const int lat_bus = machine.busLatency();
+    const int num_bus_classes = machine.numBusClasses();
 
     ListScheduleResult result;
     result.cycle.assign(n, 0);
@@ -114,10 +114,33 @@ listSchedule(const Ddg &ddg, const MachineConfig &machine)
     for (int c = 0; c < num_clusters; ++c) {
         for (int cls = 0; cls < numFuClasses; ++cls) {
             fus.emplace_back(
-                machine.fuPerCluster(static_cast<FuClass>(cls)));
+                machine.fuInCluster(c, static_cast<FuClass>(cls)));
         }
     }
-    CycleTable bus(machine.numBuses());
+    std::vector<CycleTable> buses;
+    buses.reserve(num_bus_classes);
+    for (int bc = 0; bc < num_bus_classes; ++bc)
+        buses.emplace_back(machine.busClass(bc).count);
+    // Earliest arrival over every bus class for a value ready at
+    // @p read; fills @p best_bc / @p best_cycle for the commit path.
+    auto earliestArrival = [&](int read, int &best_bc,
+                               int &best_cycle) {
+        int best = INT_MAX;
+        best_bc = -1;
+        best_cycle = 0;
+        for (int bc = 0; bc < num_bus_classes; ++bc) {
+            const int cls_lat = machine.busLatencyOf(bc);
+            int b = read;
+            while (!buses[bc].canUse(b, cls_lat))
+                ++b;
+            if (b + cls_lat < best) {
+                best = b + cls_lat;
+                best_bc = bc;
+                best_cycle = b;
+            }
+        }
+        return best;
+    };
     std::vector<int> ops_in_cluster(num_clusters, 0);
     // Per (producer, cluster): arrival cycle of a value already
     // transferred there, so one transfer serves several consumers.
@@ -165,16 +188,14 @@ listSchedule(const Ddg &ddg, const MachineConfig &machine)
                     auto it = arrivals.find({p, c});
                     if (it != arrivals.end()) {
                         ready_at = it->second;
-                    } else if (machine.numBuses() == 0) {
+                    } else if (num_bus_classes == 0) {
                         infeasible = true;
                         break;
                     } else {
                         // Transfer as soon as the value is ready.
                         int read = result.cycle[p] + edge.latency;
-                        int b = read;
-                        while (!bus.canUse(b, lat_bus))
-                            ++b;
-                        ready_at = b + lat_bus;
+                        int bc, b;
+                        ready_at = earliestArrival(read, bc, b);
                     }
                 }
                 earliest = std::max(earliest, ready_at);
@@ -211,11 +232,10 @@ listSchedule(const Ddg &ddg, const MachineConfig &machine)
                 auto it = arrivals.find(key);
                 if (it == arrivals.end()) {
                     int read = result.cycle[p] + edge.latency;
-                    int b = read;
-                    while (!bus.canUse(b, lat_bus))
-                        ++b;
-                    bus.use(b, lat_bus);
-                    it = arrivals.emplace(key, b + lat_bus).first;
+                    int bc, b;
+                    int arrival = earliestArrival(read, bc, b);
+                    buses[bc].use(b, machine.busLatencyOf(bc));
+                    it = arrivals.emplace(key, arrival).first;
                     ++result.busTransfers;
                 }
                 ready_at = it->second;

@@ -1,8 +1,10 @@
 /**
  * @file
  * Modulo reservation table: tracks occupancy of one resource pool
- * (the INT/FP/MEM units of one cluster, or the bus pool) across the
- * II kernel slots of a modulo schedule.
+ * (the INT/FP/MEM units of one cluster, or one bus class's pool)
+ * across the II kernel slots of a modulo schedule. Pool sizes come
+ * from the (possibly heterogeneous) machine description: consumers
+ * build one table per (cluster, FU class) and one per bus class.
  *
  * An operation issued at flat cycle t with occupancy c busies one
  * unit at kernel slots (t mod II) .. (t+c-1 mod II). Occupancy

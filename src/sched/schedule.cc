@@ -51,7 +51,6 @@ PartialSchedule::PartialSchedule(const Ddg &ddg,
                                  double fom_threshold)
     : ddg_(ddg), machine_(machine), ii_(ii),
       fomThreshold_(fom_threshold),
-      busMrt_(machine.numBuses(), ii),
       plannedMemOps_(std::move(planned_mem_per_cluster))
 {
     GPSCHED_ASSERT(ii >= 1, "II must be >= 1");
@@ -63,16 +62,20 @@ PartialSchedule::PartialSchedule(const Ddg &ddg,
 
     placed_.resize(ddg_.numNodes());
     values_.resize(ddg_.numNodes());
+    busMrts_.reserve(machine_.numBusClasses());
+    for (int i = 0; i < machine_.numBusClasses(); ++i)
+        busMrts_.emplace_back(machine_.busClass(i).count, ii);
     fuMrt_.reserve(num_clusters * numFuClasses);
     for (int c = 0; c < num_clusters; ++c) {
         for (int cls = 0; cls < numFuClasses; ++cls) {
             fuMrt_.emplace_back(
-                machine_.fuPerCluster(static_cast<FuClass>(cls)), ii);
+                machine_.fuInCluster(c, static_cast<FuClass>(cls)),
+                ii);
         }
     }
     regs_.reserve(num_clusters);
     for (int c = 0; c < num_clusters; ++c)
-        regs_.emplace_back(machine_.regsPerCluster(), ii);
+        regs_.emplace_back(machine_.regsInCluster(c), ii);
     overheadMemOps_.assign(num_clusters, 0);
     origMemOpsTotal_ =
         ddg_.totalOccupancy(FuClass::Mem, machine_.latencies());
@@ -139,6 +142,33 @@ int
 PartialSchedule::memFreeSlots(int cluster) const
 {
     return fu(cluster, FuClass::Mem).freeSlots();
+}
+
+int
+PartialSchedule::busFreeSlots() const
+{
+    int free = 0;
+    for (const ModuloReservationTable &mrt : busMrts_)
+        free += mrt.freeSlots();
+    return free;
+}
+
+int
+PartialSchedule::busUsedSlots() const
+{
+    int used = 0;
+    for (const ModuloReservationTable &mrt : busMrts_)
+        used += mrt.usedSlots();
+    return used;
+}
+
+int
+PartialSchedule::busTotalSlots() const
+{
+    int total = 0;
+    for (const ModuloReservationTable &mrt : busMrts_)
+        total += mrt.totalSlots();
+    return total;
 }
 
 bool
@@ -259,7 +289,7 @@ PartialSchedule::planTransfer(NodeId producer, int dest_cluster,
     GPSCHED_ASSERT(home != dest_cluster,
                    "transfer within a single cluster");
     const LatencyTable &lat = machine_.latencies();
-    const int lat_bus = machine_.busLatency();
+    const int num_bus_classes = machine_.numBusClasses();
     const int lat_st = lat.latency(Opcode::CommSt);
     const int occ_st = lat.occupancy(Opcode::CommSt);
     const int lat_ld = lat.latency(Opcode::CommLd);
@@ -267,7 +297,8 @@ PartialSchedule::planTransfer(NodeId producer, int dest_cluster,
 
     // Collect the slots other parts of this plan already claim, and
     // the slots freed when an existing transfer is being replaced.
-    std::vector<std::pair<int, int>> claimed_bus;
+    std::vector<std::vector<std::pair<int, int>>> claimed_bus(
+        num_bus_classes);
     std::vector<std::pair<int, int>> claimed_home_mem;
     std::vector<std::pair<int, int>> claimed_dest_mem;
     if (plan.node != invalidNode &&
@@ -284,7 +315,8 @@ PartialSchedule::planTransfer(NodeId producer, int dest_cluster,
                          ? plan.cluster
                          : placed_[t.producer].cluster;
         if (t.viaBus) {
-            claimed_bus.push_back({t.busCycle, lat_bus});
+            claimed_bus[t.busClass].push_back(
+                {t.busCycle, machine_.busLatencyOf(t.busClass)});
             continue;
         }
         if (t_home == home)
@@ -296,15 +328,16 @@ PartialSchedule::planTransfer(NodeId producer, int dest_cluster,
         if (t.destCluster == dest_cluster)
             claimed_dest_mem.push_back({t.ldCycle, occ_ld});
     }
-    int ign_bus_cycle = INT_MIN, ign_bus_occ = 0;
+    int ign_bus_class = -1, ign_bus_cycle = INT_MIN, ign_bus_occ = 0;
     int ign_home_cycle = INT_MIN, ign_home_occ = 0;
     int ign_dest_cycle = INT_MIN, ign_dest_occ = 0;
     auto old_it = vs.transfers.find(dest_cluster);
     if (old_it != vs.transfers.end()) {
         const Transfer &old = old_it->second;
         if (old.viaBus) {
+            ign_bus_class = old.busClass;
             ign_bus_cycle = old.busCycle;
-            ign_bus_occ = lat_bus;
+            ign_bus_occ = machine_.busLatencyOf(old.busClass);
         } else {
             ign_home_cycle = old.stCycle;
             ign_home_occ = occ_st;
@@ -331,15 +364,20 @@ PartialSchedule::planTransfer(NodeId producer, int dest_cluster,
         return ranges;
     };
 
-    // Bus first: earliest read slot keeps the home lifetime shortest.
-    if (machine_.numBuses() > 0) {
+    // Bus first, fastest class first (classes are sorted by ascending
+    // latency): earliest read slot keeps the home lifetime shortest.
+    for (int bc = 0; bc < num_bus_classes; ++bc) {
+        const int lat_bus = machine_.busLatencyOf(bc);
         for (const auto &[lo, hi] : valid_ranges(ready, use - lat_bus)) {
-            int b = findSlot(busMrt_, lo, hi, lat_bus, claimed_bus,
-                             ign_bus_cycle, ign_bus_occ);
+            int b = findSlot(busMrts_[bc], lo, hi, lat_bus,
+                             claimed_bus[bc],
+                             bc == ign_bus_class ? ign_bus_cycle
+                                                 : INT_MIN,
+                             bc == ign_bus_class ? ign_bus_occ : 0);
             if (b == INT_MIN)
                 continue;
             out.transfer = Transfer{producer, dest_cluster, true,
-                                    b, 0, 0, b, b + lat_bus};
+                                    bc, b, 0, 0, b, b + lat_bus};
             return true;
         }
     }
@@ -361,7 +399,8 @@ PartialSchedule::planTransfer(NodeId producer, int dest_cluster,
                               ign_dest_occ);
             if (ld != INT_MIN) {
                 out.transfer = Transfer{producer, dest_cluster, false,
-                                        0, st, ld, st, ld + lat_ld};
+                                        0, 0, st, ld, st,
+                                        ld + lat_ld};
                 return true;
             }
             ++st;
@@ -419,12 +458,12 @@ PartialSchedule::planPlacement(NodeId v, int cluster, int cycle) const
     if (cls == FuClass::Mem)
         plan.memSlotsDelta[cluster] += occ;
 
-    const int lat_bus = machine_.busLatency();
     const int occ_st = lat.occupancy(Opcode::CommSt);
     const int occ_ld = lat.occupancy(Opcode::CommLd);
     auto add_transfer_deltas = [&](const TransferPlan &tp, int home) {
         if (tp.transfer.viaBus) {
-            plan.busSlotsDelta += lat_bus;
+            plan.busSlotsDelta +=
+                machine_.busLatencyOf(tp.transfer.busClass);
         } else {
             plan.memSlotsDelta[home] += occ_st;
             plan.memSlotsDelta[tp.transfer.destCluster] += occ_ld;
@@ -437,7 +476,7 @@ PartialSchedule::planPlacement(NodeId v, int cluster, int cycle) const
             values_[tp.transfer.producer].transfers.at(
                 tp.transfer.destCluster);
         if (old.viaBus) {
-            plan.busSlotsDelta -= lat_bus;
+            plan.busSlotsDelta -= machine_.busLatencyOf(old.busClass);
         } else {
             plan.memSlotsDelta[home] -= occ_st;
             plan.memSlotsDelta[tp.transfer.destCluster] -= occ_ld;
@@ -642,7 +681,9 @@ PartialSchedule::reserveTransfer(const Transfer &transfer)
 {
     const LatencyTable &lat = machine_.latencies();
     if (transfer.viaBus) {
-        busMrt_.reserve(transfer.busCycle, machine_.busLatency());
+        busMrts_[transfer.busClass].reserve(
+            transfer.busCycle,
+            machine_.busLatencyOf(transfer.busClass));
         ++numBusTransfers_;
         return;
     }
@@ -663,7 +704,9 @@ PartialSchedule::releaseTransfer(const Transfer &transfer)
 {
     const LatencyTable &lat = machine_.latencies();
     if (transfer.viaBus) {
-        busMrt_.release(transfer.busCycle, machine_.busLatency());
+        busMrts_[transfer.busClass].release(
+            transfer.busCycle,
+            machine_.busLatencyOf(transfer.busClass));
         --numBusTransfers_;
         return;
     }
@@ -720,7 +763,7 @@ PartialSchedule::insertionFom(const PlacementPlan &plan) const
     const int num_clusters = machine_.numClusters();
     FigureOfMerit fom;
     fom.addComponent(
-        consumedPct(plan.busSlotsDelta, busMrt_.freeSlots()));
+        consumedPct(plan.busSlotsDelta, busFreeSlots()));
     for (int c = 0; c < num_clusters; ++c)
         fom.addComponent(
             consumedPct(plan.memSlotsDelta[c], memFreeSlots(c)));
@@ -754,8 +797,7 @@ PartialSchedule::globalFom() const
 {
     const int num_clusters = machine_.numClusters();
     FigureOfMerit fom;
-    fom.addComponent(
-        usedPct(busMrt_.usedSlots(), busMrt_.totalSlots()));
+    fom.addComponent(usedPct(busUsedSlots(), busTotalSlots()));
     for (int c = 0; c < num_clusters; ++c) {
         const auto &mem = fu(c, FuClass::Mem);
         fom.addComponent(usedPct(mem.usedSlots(), mem.totalSlots()));

@@ -10,7 +10,9 @@
  * tracked per placement:
  *
  *  - functional-unit reservation tables per (cluster, FU class),
- *  - the non-pipelined inter-cluster bus pool,
+ *    sized from the per-cluster machine description,
+ *  - the non-pipelined inter-cluster bus pools, one per bus class
+ *    (transfers ride the fastest class with a free slot),
  *  - exact per-cluster register pressure (kernel MaxLive) via value
  *    lifetimes, including loop-carried consumption at use + II*dist,
  *  - one communication per (value, destination cluster): a bus copy
@@ -50,7 +52,8 @@ struct Transfer
     NodeId producer = invalidNode;
     int destCluster = -1;
     bool viaBus = true;
-    int busCycle = 0;      ///< viaBus: bus busy [busCycle, +LatBus-1]
+    int busClass = 0;      ///< viaBus: bus class carrying the value
+    int busCycle = 0;      ///< viaBus: bus busy [busCycle, +lat-1]
     int stCycle = 0;       ///< !viaBus: CommSt issue in home cluster
     int ldCycle = 0;       ///< !viaBus: CommLd issue in dest cluster
     int readCycle = 0;     ///< when the home register is read
@@ -239,8 +242,14 @@ class PartialSchedule
     /** Overhead statistics. */
     ScheduleStats stats() const;
 
-    /** Free slots in the bus pool. */
-    int busFreeSlots() const { return busMrt_.freeSlots(); }
+    /** Free slots summed over every bus-class pool. */
+    int busFreeSlots() const;
+
+    /** Busy slots summed over every bus-class pool. */
+    int busUsedSlots() const;
+
+    /** Total slots summed over every bus-class pool. */
+    int busTotalSlots() const;
 
     /** Free memory slots of @p cluster. */
     int memFreeSlots(int cluster) const;
@@ -287,7 +296,7 @@ class PartialSchedule
     std::vector<PlacedOp> placed_;
     int numScheduled_ = 0;
     std::vector<ModuloReservationTable> fuMrt_; ///< cluster-major
-    ModuloReservationTable busMrt_;
+    std::vector<ModuloReservationTable> busMrts_; ///< per bus class
     std::vector<LifetimeTracker> regs_;
     std::vector<ValueState> values_;
 

@@ -255,7 +255,8 @@ TransformEngine::tryBusToMem(PartialSchedule &ps)
             FigureOfMerit before = ps.globalFom();
             Transfer old = t;
             ps.releaseTransfer(old);
-            Transfer repl{p, dest, false, 0, st, ld, st, ld + lat_ld};
+            Transfer repl{p, dest, false, 0, 0, st, ld, st,
+                          ld + lat_ld};
             t = repl;
             ps.reserveTransfer(repl);
             auto &events = vs.events[home];
@@ -288,7 +289,6 @@ TransformEngine::tryMemToBus(PartialSchedule &ps)
     if (ps.machine_.numBuses() == 0)
         return false;
     const LatencyTable &lat = ps.machine_.latencies();
-    const int lat_bus = ps.machine_.busLatency();
 
     for (NodeId p = 0; p < ps.ddg_.numNodes(); ++p) {
         if (!ps.placed_[p].scheduled)
@@ -305,17 +305,29 @@ TransformEngine::tryMemToBus(PartialSchedule &ps)
             int write = ps.writeCycleOf(p);
             int reload = vs.spillLd + lat.latency(Opcode::SpillLd);
 
+            // Fastest class first (classes sort by ascending latency).
+            int bus_class = -1;
             int bus_cycle = INT_MIN;
-            for (const auto &[lo, hi] :
-                 validReadRanges(ps, vs.spilled, vs.spillSt, reload,
-                                 write, min_use - lat_bus)) {
-                bus_cycle = PartialSchedule::findSlot(
-                    ps.busMrt_, lo, hi, lat_bus, {}, INT_MIN, 0);
-                if (bus_cycle != INT_MIN)
-                    break;
+            for (int bc = 0; bc < ps.machine_.numBusClasses() &&
+                             bus_cycle == INT_MIN;
+                 ++bc) {
+                const int cls_lat = ps.machine_.busLatencyOf(bc);
+                for (const auto &[lo, hi] :
+                     validReadRanges(ps, vs.spilled, vs.spillSt,
+                                     reload, write,
+                                     min_use - cls_lat)) {
+                    bus_cycle = PartialSchedule::findSlot(
+                        ps.busMrts_[bc], lo, hi, cls_lat, {}, INT_MIN,
+                        0);
+                    if (bus_cycle != INT_MIN) {
+                        bus_class = bc;
+                        break;
+                    }
+                }
             }
             if (bus_cycle == INT_MIN)
                 continue;
+            const int lat_bus = ps.machine_.busLatencyOf(bus_class);
 
             std::multiset<int> home_ev = vs.events[home];
             auto pos = home_ev.find(t.readCycle);
@@ -344,8 +356,8 @@ TransformEngine::tryMemToBus(PartialSchedule &ps)
             FigureOfMerit before = ps.globalFom();
             Transfer old = t;
             ps.releaseTransfer(old);
-            Transfer repl{p, dest, true, bus_cycle, 0, 0, bus_cycle,
-                          bus_cycle + lat_bus};
+            Transfer repl{p, dest, true, bus_class, bus_cycle, 0, 0,
+                          bus_cycle, bus_cycle + lat_bus};
             t = repl;
             ps.reserveTransfer(repl);
             auto &events = vs.events[home];
@@ -394,9 +406,9 @@ TransformEngine::run(PartialSchedule &ps)
                                  : 0.0;
             actions.push_back({reg_sat, 0, c});
         }
-        if (ps.busMrt_.totalSlots() > 0) {
-            double bus_sat = 100.0 * ps.busMrt_.usedSlots() /
-                             ps.busMrt_.totalSlots();
+        if (ps.busTotalSlots() > 0) {
+            double bus_sat = 100.0 * ps.busUsedSlots() /
+                             ps.busTotalSlots();
             actions.push_back({bus_sat, 1, 0});
         }
         for (int c = 0; c < num_clusters; ++c) {

@@ -51,7 +51,7 @@ ModuloScheduler::placeNode(PartialSchedule &ps, NodeId v,
     // Communications may delay a node past the pure-latency bound, so
     // widen one-sided windows by the worst-case transfer delay.
     const int extra = machine_.numClusters() > 1
-                          ? machine_.busLatency() +
+                          ? machine_.maxBusLatency() +
                                 lat.latency(Opcode::CommSt) +
                                 lat.latency(Opcode::CommLd)
                           : 0;

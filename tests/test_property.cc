@@ -69,11 +69,32 @@ drawParams(Rng &rng)
     return p;
 }
 
+/** A heterogeneous machine keeps the oracle honest about per-cluster
+ *  capacities and multi-class bus fabrics: a wide and a narrow
+ *  cluster joined by a fast bus plus a slow one. */
+MachineConfig
+heterogeneousMachine()
+{
+    std::vector<ClusterDesc> clusters(2);
+    clusters[0].name = "wide";
+    clusters[0].fu[static_cast<int>(FuClass::Int)] = 3;
+    clusters[0].fu[static_cast<int>(FuClass::Fp)] = 2;
+    clusters[0].fu[static_cast<int>(FuClass::Mem)] = 2;
+    clusters[0].regs = 24;
+    clusters[1].name = "narrow";
+    clusters[1].fu[static_cast<int>(FuClass::Int)] = 1;
+    clusters[1].fu[static_cast<int>(FuClass::Fp)] = 1;
+    clusters[1].fu[static_cast<int>(FuClass::Mem)] = 1;
+    clusters[1].regs = 8;
+    return MachineConfig("hetero-2c", std::move(clusters),
+                         {BusDesc{1, 1}, BusDesc{1, 2}});
+}
+
 std::vector<MachineConfig>
 propertyMachines()
 {
     return {twoClusterConfig(32, 1), fourClusterConfig(32, 1),
-            fourClusterConfig(64, 2)};
+            fourClusterConfig(64, 2), heterogeneousMachine()};
 }
 
 std::string
@@ -127,8 +148,9 @@ TEST(Property, EveryCompleteScheduleValidates)
         }
     }
     // The property is vacuous if (almost) nothing schedules; demand
-    // that a solid majority of the sweep produced complete schedules.
-    EXPECT_GE(validated, loops * 3 * 3 / 2)
+    // that a solid majority of the sweep produced complete schedules
+    // (4 machines x 3 policies per loop).
+    EXPECT_GE(validated, loops * 4 * 3 / 2)
         << "only " << validated << " schedules validated";
 }
 

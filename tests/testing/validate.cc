@@ -152,9 +152,16 @@ struct Checker
                             t.arrivalCycle, " after use ", use);
             }
             if (t.viaBus) {
+                if (t.busClass < 0 ||
+                    t.busClass >= machine.numBusClasses()) {
+                    return fail("transfer of ", edge.src,
+                                " rides unknown bus class ",
+                                t.busClass);
+                }
                 if (t.readCycle != t.busCycle ||
                     t.arrivalCycle !=
-                        t.busCycle + machine.busLatency()) {
+                        t.busCycle +
+                            machine.busLatencyOf(t.busClass)) {
                     return fail("bus transfer of ", edge.src,
                                 " has inconsistent timing");
                 }
@@ -204,7 +211,9 @@ struct Checker
         // (cluster, class) -> per-slot usage.
         std::vector<std::vector<int>> fu(
             clusters * numFuClasses, std::vector<int>(ii, 0));
-        std::vector<int> bus(ii, 0);
+        // Per bus class -> per-slot usage.
+        std::vector<std::vector<int>> bus(
+            machine.numBusClasses(), std::vector<int>(ii, 0));
         auto reserve = [&](int cluster, FuClass cls, int cycle,
                            int occ) {
             auto &slots =
@@ -221,8 +230,9 @@ struct Checker
             for (const auto &[dest, t] : ps.transfersOf(v)) {
                 if (t.viaBus) {
                     ++bus_transfers;
-                    for (int i = 0; i < machine.busLatency(); ++i)
-                        bus[wrap(t.busCycle + i, ii)] += 1;
+                    int lat_bus = machine.busLatencyOf(t.busClass);
+                    for (int i = 0; i < lat_bus; ++i)
+                        bus[t.busClass][wrap(t.busCycle + i, ii)] += 1;
                 } else {
                     ++mem_transfers;
                     reserve(ps.clusterOf(v), FuClass::Mem, t.stCycle,
@@ -246,7 +256,7 @@ struct Checker
         for (int c = 0; c < clusters; ++c) {
             for (int k = 0; k < numFuClasses; ++k) {
                 FuClass cls = static_cast<FuClass>(k);
-                int units = machine.fuPerCluster(cls);
+                int units = machine.fuInCluster(c, cls);
                 const auto &slots =
                     fu[c * numFuClasses + k];
                 for (int s = 0; s < ii; ++s) {
@@ -259,10 +269,14 @@ struct Checker
                 }
             }
         }
-        for (int s = 0; s < ii; ++s) {
-            if (bus[s] > machine.numBuses()) {
-                return fail("bus over capacity ", bus[s], "/",
-                            machine.numBuses(), " at slot ", s);
+        for (int bc = 0; bc < machine.numBusClasses(); ++bc) {
+            int count = machine.busClass(bc).count;
+            for (int s = 0; s < ii; ++s) {
+                if (bus[bc][s] > count) {
+                    return fail("bus class ", bc, " over capacity ",
+                                bus[bc][s], "/", count, " at slot ",
+                                s);
+                }
             }
         }
 
@@ -338,9 +352,9 @@ struct Checker
             int max_live = 0;
             for (int s = 0; s < ii; ++s)
                 max_live = std::max(max_live, live[c][s]);
-            if (max_live > machine.regsPerCluster()) {
+            if (max_live > machine.regsInCluster(c)) {
                 return fail("cluster ", c, " MaxLive ", max_live,
-                            " exceeds ", machine.regsPerCluster(),
+                            " exceeds ", machine.regsInCluster(c),
                             " registers");
             }
             if (max_live != ps.maxLive(c)) {

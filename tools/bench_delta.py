@@ -1,0 +1,233 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json trajectories and gate on IPC regressions.
+
+The nightly CI job uploads every bench driver's --json report
+(BENCH_fig2.json, BENCH_ablation_*.json, ...). This tool diffs the
+numeric metrics of two such trajectories — two files, or two
+directories of BENCH_*.json files — and exits non-zero when any
+mean-IPC metric regresses by more than the threshold (default 5%).
+
+Understands both report schemas emitted by bench/common:
+
+  * figure panels: {"panels": [{"title", "rows": [{"program",
+    "unified", "uracam", "fixed", "gp"}, ...]}]} — the mean-IPC gate
+    applies to the per-panel "average" rows;
+  * metric tables: {"tables": [{"title", "labelColumns",
+    "valueColumns", "rows": [{"labels": [...], "values": [...]}]}]}
+    — the gate applies to value columns whose name contains "ipc"
+    (case-insensitive);
+  * table2_sched_time's bespoke rows (timings: reported, never gated).
+
+Metrics present on only one side are reported but never fail the
+gate, so renaming a configuration or adding a bench does not break
+the first nightly after the change.
+
+Usage:
+  bench_delta.py OLD NEW [--threshold PCT] [--all-metrics]
+  bench_delta.py --self-test
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def collect_metrics(report):
+    """Flattens one report into {metric-key: float}."""
+    metrics = {}
+    bench = report.get("bench", "?")
+
+    for panel in report.get("panels", []):
+        title = panel.get("title", "?")
+        for row in panel.get("rows", []):
+            program = row.get("program", "?")
+            for column in ("unified", "uracam", "fixed", "gp"):
+                if column not in row:
+                    continue
+                key = f"{bench}/{title}/{program}/{column}"
+                metrics[key] = float(row[column])
+
+    for table in report.get("tables", []):
+        title = table.get("title", "?")
+        columns = table.get("valueColumns", [])
+        for row in table.get("rows", []):
+            label = "/".join(row.get("labels", []))
+            for column, value in zip(columns, row.get("values", [])):
+                key = f"{bench}/{title}/{label}/{column}"
+                metrics[key] = float(value)
+
+    if bench == "table2_sched_time":
+        for row in report.get("rows", []):
+            label = row.get("configuration", "?")
+            for column in ("uracamSeconds", "fixedSeconds",
+                           "gpSeconds"):
+                if column in row:
+                    key = f"{bench}/{label}/{column}"
+                    metrics[key] = float(row[column])
+
+    return metrics
+
+
+def is_gated(key):
+    """True for the mean-IPC metrics the regression gate applies to.
+
+    Panel reports gate the per-panel average row (the paper's
+    mean-IPC bars); metric tables gate any column whose name
+    mentions IPC.
+    """
+    parts = key.split("/")
+    if "/average/" in key:
+        return True
+    return "ipc" in parts[-1].lower()
+
+
+def load_side(path):
+    """Loads one side: a JSON file or a directory of BENCH_*.json."""
+    if os.path.isdir(path):
+        reports = []
+        for name in sorted(glob.glob(os.path.join(path,
+                                                  "BENCH_*.json"))):
+            with open(name) as handle:
+                reports.append(json.load(handle))
+        if not reports:
+            raise FileNotFoundError(
+                f"no BENCH_*.json files under '{path}'")
+        merged = {}
+        for report in reports:
+            merged.update(collect_metrics(report))
+        return merged
+    with open(path) as handle:
+        return collect_metrics(json.load(handle))
+
+
+def compare(old, new, threshold_pct, gate_all):
+    """Returns (report_lines, failures)."""
+    lines = []
+    failures = []
+    shared = sorted(set(old) & set(new))
+    for key in shared:
+        before, after = old[key], new[key]
+        if before == 0.0:
+            continue
+        delta_pct = 100.0 * (after - before) / abs(before)
+        gated = gate_all or is_gated(key)
+        marker = " "
+        if gated and delta_pct < -threshold_pct:
+            failures.append(key)
+            marker = "!"
+        if abs(delta_pct) > 0.01 or marker == "!":
+            lines.append(f"{marker} {key}: {before:.4f} -> "
+                         f"{after:.4f} ({delta_pct:+.2f}%)")
+    for key in sorted(set(old) - set(new)):
+        lines.append(f"- {key}: only in OLD (ignored)")
+    for key in sorted(set(new) - set(old)):
+        lines.append(f"+ {key}: only in NEW (ignored)")
+    gated_count = sum(1 for k in shared
+                      if gate_all or is_gated(k))
+    lines.append(f"compared {len(shared)} shared metrics "
+                 f"({gated_count} gated at {threshold_pct:.1f}%)")
+    return lines, failures
+
+
+def self_test():
+    """Exercises the gate logic without touching the filesystem."""
+    panels = {
+        "bench": "fig2_ipc_lat1",
+        "panels": [{
+            "title": "p",
+            "rows": [
+                {"program": "swim", "gp": 5.0, "uracam": 4.0},
+                {"program": "average", "gp": 5.0, "uracam": 4.0},
+            ],
+        }],
+    }
+    tables = {
+        "bench": "ablation_unroll",
+        "tables": [{
+            "title": "t",
+            "labelColumns": ["configuration"],
+            "valueColumns": ["meanIpc", "schedSeconds"],
+            "rows": [{"labels": ["2c"], "values": [3.0, 1.0]}],
+        }],
+    }
+    old = collect_metrics(panels)
+    old.update(collect_metrics(tables))
+    assert "fig2_ipc_lat1/p/average/gp" in old, old
+    assert is_gated("fig2_ipc_lat1/p/average/gp")
+    assert is_gated("ablation_unroll/t/2c/meanIpc")
+    assert not is_gated("ablation_unroll/t/2c/schedSeconds")
+    assert not is_gated("fig2_ipc_lat1/p/swim/gp")
+    # The value-column names the drivers actually emit.
+    assert is_gated("ablation_unroll/t/2c/unroll1Ipc")
+    assert is_gated("fig_buses/t/2c/gpIpc")
+    assert is_gated("ablation_edge_weights/t/2c/delaySlackIpc")
+    assert not is_gated("ablation_regpressure/t/2c/gainPct")
+    assert not is_gated("fig_buses/t/2c/buses")
+    assert not is_gated("table1_configs/t/2c/regs")
+
+    # A 3% dip passes at the default 5% threshold...
+    new = dict(old)
+    new["fig2_ipc_lat1/p/average/gp"] = 5.0 * 0.97
+    _, failures = compare(old, new, 5.0, False)
+    assert not failures, failures
+    # ...a 10% dip fails...
+    new["fig2_ipc_lat1/p/average/gp"] = 5.0 * 0.90
+    _, failures = compare(old, new, 5.0, False)
+    assert failures == ["fig2_ipc_lat1/p/average/gp"], failures
+    # ...an ungated timing regression never fails...
+    new = dict(old)
+    new["ablation_unroll/t/2c/schedSeconds"] = 100.0
+    _, failures = compare(old, new, 5.0, False)
+    assert not failures, failures
+    # ...and vanished metrics are ignored.
+    _, failures = compare(old, {}, 5.0, False)
+    assert not failures, failures
+    print("bench_delta self-test OK")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="diff two bench JSON trajectories")
+    parser.add_argument("old", nargs="?",
+                        help="baseline file or directory")
+    parser.add_argument("new", nargs="?",
+                        help="candidate file or directory")
+    parser.add_argument("--threshold", type=float, default=5.0,
+                        help="max tolerated mean-IPC regression, in "
+                             "percent (default 5)")
+    parser.add_argument("--all-metrics", action="store_true",
+                        help="gate every shared numeric metric, not "
+                             "just mean IPC")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in logic checks and exit")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if not args.old or not args.new:
+        parser.error("OLD and NEW are required unless --self-test")
+
+    old = load_side(args.old)
+    new = load_side(args.new)
+    lines, failures = compare(old, new, args.threshold,
+                              args.all_metrics)
+    for line in lines:
+        print(line)
+    if failures:
+        print(f"FAIL: {len(failures)} metric(s) regressed more than "
+              f"{args.threshold:.1f}%:", file=sys.stderr)
+        for key in failures:
+            print(f"  {key}", file=sys.stderr)
+        return 1
+    print("OK: no gated regression beyond "
+          f"{args.threshold:.1f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

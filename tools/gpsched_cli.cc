@@ -8,10 +8,15 @@
  *
  * Usage:
  *   gpsched_cli [options] <ddg-file>...
- *     --machine unified|2cluster|4cluster   preset (default 4cluster)
- *     --regs N          total registers (default 64)
- *     --buses N         inter-cluster buses (default 1)
- *     --bus-latency N   bus transfer latency (default 1)
+ *     --machine SPEC    legacy preset (unified|2cluster|4cluster,
+ *                       shaped by --regs/--buses/--bus-latency), a
+ *                       registry name (e.g. 4c-r64-b1), or a path to
+ *                       a .machine description file (default
+ *                       4cluster)
+ *     --list-machines   print the registry names and exit
+ *     --regs N          total registers (default 64; legacy presets)
+ *     --buses N         inter-cluster buses (default 1; legacy)
+ *     --bus-latency N   bus transfer latency (default 1; legacy)
  *     --scheme uracam|fixed|gp|all          scheme (default gp)
  *     --jobs N          engine workers; 0 = hardware (default 0)
  *     --repeat N        compile the batch N times (cache demo)
@@ -30,6 +35,7 @@
 #include "engine/engine.hh"
 #include "graph/textio.hh"
 #include "machine/configs.hh"
+#include "machine/registry.hh"
 #include "support/json.hh"
 #include "support/logging.hh"
 
@@ -44,6 +50,7 @@ struct CliOptions
     int regs = 64;
     int buses = 1;
     int busLatency = 1;
+    bool legacyShapeFlags = false; ///< --regs/--buses/--bus-latency
     std::string scheme = "gp";
     int jobs = 0;
     int repeat = 1;
@@ -56,10 +63,14 @@ usage(const char *argv0, int status)
 {
     std::ostream &os = status == 0 ? std::cout : std::cerr;
     os << "usage: " << argv0 << " [options] <ddg-file>...\n"
-       << "  --machine unified|2cluster|4cluster (default 4cluster)\n"
-       << "  --regs N         total registers (default 64)\n"
-       << "  --buses N        inter-cluster buses (default 1)\n"
-       << "  --bus-latency N  bus latency cycles (default 1)\n"
+       << "  --machine SPEC   unified|2cluster|4cluster preset, a\n"
+       << "                   registry name (see --list-machines) or\n"
+       << "                   a .machine file path (default 4cluster)\n"
+       << "  --list-machines  print registry machine names and exit\n"
+       << "  --regs N         total registers (default 64; legacy\n"
+       << "                   presets only)\n"
+       << "  --buses N        inter-cluster buses (default 1; legacy)\n"
+       << "  --bus-latency N  bus latency cycles (default 1; legacy)\n"
        << "  --scheme uracam|fixed|gp|all (default gp)\n"
        << "  --jobs N         engine workers, 0 = hardware (default 0)\n"
        << "  --repeat N       compile the batch N times (default 1)\n"
@@ -103,15 +114,23 @@ parseArgs(int argc, char **argv)
     };
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
-        if (arg == "--machine")
+        if (arg == "--machine") {
             options.machine = needValue(i);
-        else if (arg == "--regs")
+        } else if (arg == "--list-machines") {
+            for (const std::string &name :
+                 MachineRegistry::builtin().names())
+                std::cout << name << "\n";
+            std::exit(0);
+        } else if (arg == "--regs") {
             options.regs = countValue(i);
-        else if (arg == "--buses")
+            options.legacyShapeFlags = true;
+        } else if (arg == "--buses") {
             options.buses = countValue(i);
-        else if (arg == "--bus-latency")
+            options.legacyShapeFlags = true;
+        } else if (arg == "--bus-latency") {
             options.busLatency = countValue(i);
-        else if (arg == "--scheme")
+            options.legacyShapeFlags = true;
+        } else if (arg == "--scheme")
             options.scheme = needValue(i);
         else if (arg == "--jobs")
             options.jobs = countValue(i);
@@ -141,6 +160,7 @@ parseArgs(int argc, char **argv)
 MachineConfig
 machineFor(const CliOptions &options)
 {
+    // Legacy presets keep their shape flags.
     if (options.machine == "unified")
         return unifiedConfig(options.regs);
     if (options.machine == "2cluster")
@@ -149,8 +169,14 @@ machineFor(const CliOptions &options)
     if (options.machine == "4cluster")
         return fourClusterConfig(options.regs, options.busLatency,
                                  options.buses);
-    GPSCHED_FATAL("unknown machine preset '", options.machine,
-                  "' (unified|2cluster|4cluster)");
+    // Anything else is a registry name or a .machine file, whose
+    // shape is fully self-described.
+    if (options.legacyShapeFlags)
+        GPSCHED_FATAL("--regs/--buses/--bus-latency only apply to "
+                      "the unified|2cluster|4cluster presets, not "
+                      "to '",
+                      options.machine, "'");
+    return MachineRegistry::builtin().resolve(options.machine);
 }
 
 std::vector<SchedulerKind>
@@ -229,9 +255,32 @@ writeReport(std::ostream &os, const CliOptions &options,
     json.beginObject("machine");
     json.member("name", machine.name());
     json.member("clusters", machine.numClusters());
+    json.member("homogeneous", machine.homogeneous());
+    json.member("totalIssueWidth", machine.totalIssueWidth());
     json.member("totalRegs", machine.totalRegs());
     json.member("buses", machine.numBuses());
-    json.member("busLatency", machine.busLatency());
+    json.beginArray("clusterConfigs");
+    for (int c = 0; c < machine.numClusters(); ++c) {
+        const ClusterDesc &cluster = machine.cluster(c);
+        json.beginObject();
+        json.member("name", cluster.name);
+        json.member("int",
+                    machine.fuInCluster(c, FuClass::Int));
+        json.member("fp", machine.fuInCluster(c, FuClass::Fp));
+        json.member("mem",
+                    machine.fuInCluster(c, FuClass::Mem));
+        json.member("regs", cluster.regs);
+        json.endObject();
+    }
+    json.endArray();
+    json.beginArray("busClasses");
+    for (int i = 0; i < machine.numBusClasses(); ++i) {
+        json.beginObject();
+        json.member("count", machine.busClass(i).count);
+        json.member("latency", machine.busClass(i).latency);
+        json.endObject();
+    }
+    json.endArray();
     json.endObject();
     json.beginArray("loops");
     std::size_t i = 0;
@@ -268,6 +317,7 @@ writeReport(std::ostream &os, const CliOptions &options,
     json.member("jobsSubmitted", stats.jobsSubmitted);
     json.member("cacheHits", stats.cacheHits);
     json.member("cacheMisses", stats.cacheMisses);
+    json.member("coalesced", stats.coalesced);
     json.member("hitRate", stats.hitRate());
     json.endObject();
     json.endObject();
