@@ -22,6 +22,7 @@ BenchOptions::engineOptions() const
 {
     EngineOptions options;
     options.jobs = jobs;
+    options.cacheDir = cacheDir;
     return options;
 }
 
@@ -93,10 +94,17 @@ parseBenchArgs(int argc, char **argv)
                                         "list\n";
                 std::exit(2);
             }
+        } else if (arg == "--cache-dir") {
+            if (i + 1 >= argc) {
+                std::cerr << argv[0]
+                          << ": --cache-dir needs a path\n";
+                std::exit(2);
+            }
+            options.cacheDir = argv[++i];
         } else {
             std::cerr << argv[0] << ": unknown argument '" << arg
                       << "' (--smoke, --jobs N, --json PATH, "
-                         "--machines LIST)\n";
+                         "--machines LIST, --cache-dir PATH)\n";
             std::exit(2);
         }
     }
@@ -152,6 +160,36 @@ benchSuite(const LatencyTable &lat, const BenchOptions &options)
     }
     return suite;
 }
+
+namespace
+{
+
+/** The engine/cache statistics block shared by both JSON schemas
+ *  (cold/warm disk traffic included so the nightly trajectory can
+ *  gate on warm-run hit rates). */
+void
+writeEngineStatsJson(JsonWriter &json, const Engine &engine)
+{
+    EngineStats stats = engine.stats();
+    json.beginObject("engine");
+    json.member("jobs", engine.jobs());
+    json.member("jobsSubmitted", stats.jobsSubmitted);
+    json.member("cacheHits", stats.cacheHits);
+    json.member("cacheMisses", stats.cacheMisses);
+    json.member("coalesced", stats.coalesced);
+    json.member("hitRate", stats.hitRate());
+    json.member("cacheDir", engine.diskCache()
+                                ? engine.diskCache()->dir()
+                                : std::string());
+    json.member("diskHits", stats.diskHits);
+    json.member("diskMisses", stats.diskMisses);
+    json.member("diskStores", stats.diskStores);
+    json.member("corruptEvicted", stats.corruptEvicted);
+    json.member("diskHitRate", stats.diskHitRate());
+    json.endObject();
+}
+
+} // namespace
 
 FigurePanel
 runPanel(Engine &engine, const std::vector<Program> &suite,
@@ -226,7 +264,6 @@ writePanelsJson(std::ostream &os, const std::string &benchName,
                 const std::vector<FigurePanel> &panels,
                 const Engine &engine)
 {
-    EngineStats stats = engine.stats();
     JsonWriter json(os);
     json.beginObject();
     json.member("schemaVersion", 1);
@@ -255,14 +292,7 @@ writePanelsJson(std::ostream &os, const std::string &benchName,
         json.endObject();
     }
     json.endArray();
-    json.beginObject("engine");
-    json.member("jobs", engine.jobs());
-    json.member("jobsSubmitted", stats.jobsSubmitted);
-    json.member("cacheHits", stats.cacheHits);
-    json.member("cacheMisses", stats.cacheMisses);
-    json.member("coalesced", stats.coalesced);
-    json.member("hitRate", stats.hitRate());
-    json.endObject();
+    writeEngineStatsJson(json, engine);
     json.endObject();
 }
 
@@ -327,17 +357,8 @@ writeMetricTablesJson(std::ostream &os, const std::string &benchName,
         json.endObject();
     }
     json.endArray();
-    if (engine) {
-        EngineStats stats = engine->stats();
-        json.beginObject("engine");
-        json.member("jobs", engine->jobs());
-        json.member("jobsSubmitted", stats.jobsSubmitted);
-        json.member("cacheHits", stats.cacheHits);
-        json.member("cacheMisses", stats.cacheMisses);
-        json.member("coalesced", stats.coalesced);
-        json.member("hitRate", stats.hitRate());
-        json.endObject();
-    }
+    if (engine)
+        writeEngineStatsJson(json, *engine);
     json.endObject();
 }
 

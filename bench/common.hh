@@ -6,12 +6,14 @@
  *
  * Every driver accepts --smoke (tiny workload for CTest), --jobs N
  * (worker threads of the batch engine; 0 = hardware concurrency),
- * --json PATH (machine-readable report; "-" for stdout) and
+ * --json PATH (machine-readable report; "-" for stdout),
  * --machines LIST (comma-separated registry names or .machine file
  * paths replacing the driver's default machine sweep, so every
- * figure and ablation runs on arbitrary configurations). Panels run
- * through one shared Engine so the fingerprint cache dedupes
- * identical loop shapes across panels and schemes.
+ * figure and ablation runs on arbitrary configurations) and
+ * --cache-dir PATH (the persistent compile cache, so repeated bench
+ * runs are served from disk; cold/warm disk stats land in the JSON
+ * report). Panels run through one shared Engine so the fingerprint
+ * cache dedupes identical loop shapes across panels and schemes.
  */
 
 #ifndef GPSCHED_BENCH_COMMON_HH
@@ -55,6 +57,12 @@ struct BenchOptions
      */
     std::vector<std::string> machines;
 
+    /**
+     * Persistent compile cache directory (--cache-dir PATH); empty
+     * disables the disk layer.
+     */
+    std::string cacheDir;
+
     /** Iteration counts for repeated-measurement benches. */
     int
     reps(int full) const
@@ -67,8 +75,8 @@ struct BenchOptions
 };
 
 /**
- * Parses argv; recognizes --smoke/--jobs/--json/--machines; exits
- * with status 2 on anything else.
+ * Parses argv; recognizes --smoke/--jobs/--json/--machines/
+ * --cache-dir; exits with status 2 on anything else.
  */
 BenchOptions parseBenchArgs(int argc, char **argv);
 

@@ -45,6 +45,30 @@ plannedMemOps(const Ddg &ddg, const MachineConfig &machine,
     return planned;
 }
 
+/**
+ * Copies the final schedule out of @p ps into the serializable
+ * CompiledLoop payload: per-node placements, the transfer list
+ * (sorted by (producer, destCluster) — transfersOf already keys by
+ * destination) and spill splits.
+ */
+void
+recordSchedule(const Ddg &ddg, const PartialSchedule &ps,
+               CompiledLoop &out)
+{
+    out.placements.resize(ddg.numNodes());
+    for (NodeId v = 0; v < ddg.numNodes(); ++v) {
+        out.placements[v] =
+            OpPlacement{ps.clusterOf(v), ps.cycleOf(v)};
+        for (const auto &entry : ps.transfersOf(v))
+            out.transfers.push_back(entry.second);
+        SpillInfo spill = ps.spillOf(v);
+        if (spill.spilled) {
+            out.spills.push_back(SpillRecord{v, spill.storeCycle,
+                                             spill.loadCycle});
+        }
+    }
+}
+
 } // namespace
 
 LoopCompiler::LoopCompiler(const MachineConfig &machine,
@@ -116,6 +140,13 @@ LoopCompiler::compile(const Ddg &ddg) const
             out.ii = ii;
             out.scheduleLength = ps.scheduleLength();
             out.stats = ps.stats();
+            recordSchedule(ddg, ps, out);
+            if (partitioned) {
+                out.partition.resize(ddg.numNodes());
+                for (NodeId v = 0; v < ddg.numNodes(); ++v)
+                    out.partition[v] =
+                        part.partition.clusterOf(v);
+            }
             out.cycles = (ddg.tripCount() - 1) *
                              static_cast<std::int64_t>(ii) +
                          out.scheduleLength;

@@ -30,6 +30,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "graph/ddg.hh"
 #include "machine/machine.hh"
@@ -86,6 +87,33 @@ struct LoopCompilerOptions
     int maxIiHardCap = 1024;
 };
 
+/** Final placement of one program operation. */
+struct OpPlacement
+{
+    int cluster = -1;
+    int cycle = 0;
+
+    bool operator==(const OpPlacement &other) const
+    {
+        return cluster == other.cluster && cycle == other.cycle;
+    }
+};
+
+/** Spill split of one value (producer node) in the final schedule. */
+struct SpillRecord
+{
+    NodeId node = invalidNode;
+    int storeCycle = 0;
+    int loadCycle = 0;
+
+    bool operator==(const SpillRecord &other) const
+    {
+        return node == other.node &&
+               storeCycle == other.storeCycle &&
+               loadCycle == other.loadCycle;
+    }
+};
+
 /** Outcome of compiling one loop. */
 struct CompiledLoop
 {
@@ -123,6 +151,32 @@ struct CompiledLoop
 
     /** Scheduling CPU time (Table 2 metric). */
     double schedSeconds = 0.0;
+
+    // --- the schedule itself (serialized by src/serialize/) ---------
+
+    /**
+     * Final (cluster, flat cycle) of every node, indexed by NodeId.
+     * Empty when the list-scheduling fallback was used.
+     */
+    std::vector<OpPlacement> placements;
+
+    /**
+     * Inter-cluster communications of the final schedule, sorted by
+     * (producer, destCluster). Includes the bus class each bus
+     * transfer rides.
+     */
+    std::vector<Transfer> transfers;
+
+    /** Spill splits of the final schedule, sorted by node. */
+    std::vector<SpillRecord> spills;
+
+    /**
+     * Cluster assignment the partitioner last produced, indexed by
+     * NodeId (the GP scheme may deviate from it; placements record
+     * the final choice). Empty when no partition was computed
+     * (URACAM or unified machines).
+     */
+    std::vector<int> partition;
 };
 
 /** Compiles loops for one machine with one scheme. */

@@ -23,6 +23,15 @@ EngineStats::hitRate() const
                      static_cast<double>(jobsSubmitted);
 }
 
+double
+EngineStats::diskHitRate() const
+{
+    const std::uint64_t probes = diskHits + diskMisses;
+    return probes == 0 ? 0.0
+                       : static_cast<double>(diskHits) /
+                             static_cast<double>(probes);
+}
+
 namespace
 {
 
@@ -42,6 +51,10 @@ Engine::Engine(EngineOptions options)
       pool_(jobs_ <= 1 ? 0 : jobs_),
       cache_(options.cacheCapacity, options.cacheShards)
 {
+    if (options_.cacheEnabled && !options_.cacheDir.empty()) {
+        disk_ = std::make_unique<DiskCache>(options_.cacheDir,
+                                            options_.cacheMaxBytes);
+    }
 }
 
 CompiledLoop
@@ -96,6 +109,27 @@ Engine::runJob(const EngineJob &job)
         result.loopName = job.loop->name();
         return result;
     }
+
+    // Publishes an owned result: into the in-memory cache first (so
+    // waiters released by the future, and late lookups, always see
+    // it), then to coalesced waiters, then retires the in-flight
+    // entry. Shared by the disk-hit and compile paths below so the
+    // ordering-sensitive sequence exists once.
+    auto publishAndRetire = [&] {
+        cache_.insert(key, result);
+        promise.set_value(result);
+        std::lock_guard<std::mutex> lock(inflightMutex_);
+        inflight_.erase(key.canonical);
+    };
+
+    // This thread owns the key. Probe the persistent layer before
+    // compiling; coalesced duplicates wait on the future either way,
+    // so each key touches the disk at most once per process run.
+    if (disk_ && disk_->lookup(key, result)) {
+        publishAndRetire();
+        result.loopName = job.loop->name();
+        return result;
+    }
     cacheMisses_.fetch_add(1, std::memory_order_relaxed);
 
     try {
@@ -109,12 +143,9 @@ Engine::runJob(const EngineJob &job)
         inflight_.erase(key.canonical);
         throw;
     }
-    cache_.insert(key, result);
-    promise.set_value(result);
-    {
-        std::lock_guard<std::mutex> lock(inflightMutex_);
-        inflight_.erase(key.canonical);
-    }
+    if (disk_)
+        disk_->store(key, result);
+    publishAndRetire();
     return result;
 }
 
@@ -146,6 +177,13 @@ Engine::stats() const
     stats.cacheHits = cacheHits_.load(std::memory_order_relaxed);
     stats.cacheMisses = cacheMisses_.load(std::memory_order_relaxed);
     stats.coalesced = coalesced_.load(std::memory_order_relaxed);
+    if (disk_) {
+        DiskCacheStats disk = disk_->stats();
+        stats.diskHits = disk.hits;
+        stats.diskMisses = disk.misses;
+        stats.diskStores = disk.stores;
+        stats.corruptEvicted = disk.corruptEvicted;
+    }
     return stats;
 }
 

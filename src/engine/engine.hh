@@ -24,12 +24,14 @@
 #include <cstddef>
 #include <cstdint>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "core/gp_scheduler.hh"
+#include "engine/disk_cache.hh"
 #include "engine/result_cache.hh"
 #include "engine/thread_pool.hh"
 #include "graph/ddg.hh"
@@ -53,6 +55,17 @@ struct EngineOptions
 
     /** Result-cache lock stripes. */
     std::size_t cacheShards = 16;
+
+    /**
+     * Persistent cache directory (engine/disk_cache.hh), layered
+     * under the in-memory cache so results survive across runs and
+     * processes. Empty disables the disk layer. Requires
+     * cacheEnabled.
+     */
+    std::string cacheDir;
+
+    /** Disk-cache resident-size budget in bytes; 0 = unlimited. */
+    std::uint64_t cacheMaxBytes = 256ull << 20;
 };
 
 /** Serial, cache-less configuration (the legacy pipeline path). */
@@ -84,8 +97,23 @@ struct EngineStats
      *  actual compilations. */
     std::uint64_t coalesced = 0;
 
+    /** In-memory misses served by the persistent cache. */
+    std::uint64_t diskHits = 0;
+
+    /** Disk probes that found no (valid) record. */
+    std::uint64_t diskMisses = 0;
+
+    /** Records published to the persistent cache. */
+    std::uint64_t diskStores = 0;
+
+    /** Malformed/stale on-disk records evicted during lookups. */
+    std::uint64_t corruptEvicted = 0;
+
     /** cacheHits / jobsSubmitted; 0 before any job ran. */
     double hitRate() const;
+
+    /** diskHits / (diskHits + diskMisses); 0 before any probe. */
+    double diskHitRate() const;
 };
 
 /** Thread-pool batch scheduler with a fingerprint result cache. */
@@ -116,7 +144,11 @@ class Engine
     /** The result cache (for capacity/size introspection). */
     const ResultCache &cache() const { return cache_; }
 
-    /** Drops all cached results (counters are kept). */
+    /** The persistent cache; nullptr when no cacheDir was given. */
+    const DiskCache *diskCache() const { return disk_.get(); }
+
+    /** Drops all in-memory cached results (counters and the
+     *  persistent store are kept). */
     void clearCache() { cache_.clear(); }
 
   private:
@@ -126,6 +158,9 @@ class Engine
     int jobs_;
     ThreadPool pool_;
     ResultCache cache_;
+
+    /** Persistent layer under the in-memory cache; may be null. */
+    std::unique_ptr<DiskCache> disk_;
 
     /** Compilations currently running, keyed by canonical LoopKey.
      *  A duplicate submission awaits the owner's shared future

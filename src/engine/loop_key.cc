@@ -125,14 +125,20 @@ encodeOptions(Encoder &enc, SchedulerKind kind,
 } // namespace
 
 std::uint64_t
-fnv1a64(const std::string &bytes)
+fnv1a64(const char *data, std::size_t size)
 {
     std::uint64_t hash = 0xcbf29ce484222325ULL;
-    for (unsigned char c : bytes) {
-        hash ^= c;
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= static_cast<unsigned char>(data[i]);
         hash *= 0x100000001b3ULL;
     }
     return hash;
+}
+
+std::uint64_t
+fnv1a64(const std::string &bytes)
+{
+    return fnv1a64(bytes.data(), bytes.size());
 }
 
 LoopKey

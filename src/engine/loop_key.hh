@@ -18,6 +18,7 @@
 #ifndef GPSCHED_ENGINE_LOOP_KEY_HH
 #define GPSCHED_ENGINE_LOOP_KEY_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -52,6 +53,9 @@ struct LoopKey
 LoopKey makeLoopKey(const Ddg &ddg, const MachineConfig &machine,
                     SchedulerKind kind,
                     const LoopCompilerOptions &options);
+
+/** FNV-1a over @p size bytes at @p data. */
+std::uint64_t fnv1a64(const char *data, std::size_t size);
 
 /** FNV-1a over @p bytes (exposed for tests). */
 std::uint64_t fnv1a64(const std::string &bytes);

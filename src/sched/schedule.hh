@@ -58,6 +58,18 @@ struct Transfer
     int ldCycle = 0;       ///< !viaBus: CommLd issue in dest cluster
     int readCycle = 0;     ///< when the home register is read
     int arrivalCycle = 0;  ///< when the value exists in dest
+
+    bool operator==(const Transfer &other) const
+    {
+        return producer == other.producer &&
+               destCluster == other.destCluster &&
+               viaBus == other.viaBus && busClass == other.busClass &&
+               busCycle == other.busCycle &&
+               stCycle == other.stCycle &&
+               ldCycle == other.ldCycle &&
+               readCycle == other.readCycle &&
+               arrivalCycle == other.arrivalCycle;
+    }
 };
 
 /** Planned creation or replacement of a transfer. */
@@ -119,6 +131,14 @@ struct ScheduleStats
     int memTransfers = 0;
     int spills = 0;
     int overheadMemOps = 0;
+
+    bool operator==(const ScheduleStats &other) const
+    {
+        return busTransfers == other.busTransfers &&
+               memTransfers == other.memTransfers &&
+               spills == other.spills &&
+               overheadMemOps == other.overheadMemOps;
+    }
 };
 
 /** Spill placement of one value (for introspection/code emission). */

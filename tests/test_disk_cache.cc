@@ -1,0 +1,431 @@
+/**
+ * @file
+ * The persistent compile cache: store/lookup round trips, the
+ * acceptance-bar warm rerun (>= 90% disk hits, bit-identical
+ * schedules), corruption robustness (truncation, bit flips, version
+ * bumps — always a miss plus eviction, never a crash or a wrong
+ * schedule), the size-budget compaction, and a two-engine
+ * shared-directory stress run whose results must match a serial
+ * cache-less compile while never leaving partial records behind.
+ */
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "core/gp_scheduler.hh"
+#include "core/pipeline.hh"
+#include "engine/disk_cache.hh"
+#include "engine/engine.hh"
+#include "engine/loop_key.hh"
+#include "machine/configs.hh"
+#include "serialize/record.hh"
+#include "testing/fixtures.hh"
+#include "testing/validate.hh"
+#include "workload/specfp.hh"
+
+namespace fs = std::filesystem;
+
+using namespace gpsched;
+using namespace gpsched::testing;
+
+namespace
+{
+
+/** Fresh empty cache directory unique to this test and process. */
+std::string
+freshCacheDir(const std::string &tag)
+{
+    fs::path dir = fs::temp_directory_path() /
+                   ("gpsched_" + tag + "_" +
+                    std::to_string(::getpid()));
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir.string();
+}
+
+/** Every record file currently in @p dir. */
+std::vector<fs::path>
+recordFiles(const std::string &dir)
+{
+    std::vector<fs::path> files;
+    for (const fs::directory_entry &entry :
+         fs::recursive_directory_iterator(dir)) {
+        if (entry.is_regular_file() &&
+            entry.path().extension() == ".gpc")
+            files.push_back(entry.path());
+    }
+    return files;
+}
+
+/** Every non-record (temp) file currently in @p dir. */
+std::vector<fs::path>
+strayFiles(const std::string &dir)
+{
+    std::vector<fs::path> files;
+    for (const fs::directory_entry &entry :
+         fs::recursive_directory_iterator(dir)) {
+        if (entry.is_regular_file() &&
+            entry.path().extension() != ".gpc")
+            files.push_back(entry.path());
+    }
+    return files;
+}
+
+/** Full bit-level comparison, including the schedule payload. */
+void
+expectLoopsIdentical(const CompiledLoop &a, const CompiledLoop &b,
+                     const std::string &context)
+{
+    EXPECT_EQ(a.loopName, b.loopName) << context;
+    EXPECT_EQ(a.moduloScheduled, b.moduloScheduled) << context;
+    EXPECT_EQ(a.mii, b.mii) << context;
+    EXPECT_EQ(a.ii, b.ii) << context;
+    EXPECT_EQ(a.scheduleLength, b.scheduleLength) << context;
+    EXPECT_EQ(a.cycles, b.cycles) << context;
+    EXPECT_EQ(a.ops, b.ops) << context;
+    EXPECT_EQ(a.ipc, b.ipc) << context;
+    EXPECT_TRUE(a.stats == b.stats) << context;
+    EXPECT_EQ(a.partitionRuns, b.partitionRuns) << context;
+    EXPECT_EQ(a.scheduleAttempts, b.scheduleAttempts) << context;
+    EXPECT_EQ(a.placements, b.placements) << context;
+    EXPECT_EQ(a.transfers, b.transfers) << context;
+    EXPECT_EQ(a.spills, b.spills) << context;
+    EXPECT_EQ(a.partition, b.partition) << context;
+}
+
+/** A small multi-program batch over the synthetic suite. */
+std::vector<EngineJob>
+suiteBatch(const std::vector<Program> &suite,
+           const MachineConfig &machine)
+{
+    std::vector<EngineJob> batch;
+    for (const Program &program : suite) {
+        for (const Ddg &loop : program.loops) {
+            for (SchedulerKind kind :
+                 {SchedulerKind::Uracam,
+                  SchedulerKind::FixedPartition, SchedulerKind::Gp})
+                batch.push_back(
+                    EngineJob{&loop, &machine, kind, {}});
+        }
+    }
+    return batch;
+}
+
+} // namespace
+
+// --- basic round trip ---------------------------------------------
+
+TEST(DiskCache, StoreThenLookupRoundTrips)
+{
+    std::string dir = freshCacheDir("roundtrip");
+    LatencyTable lat;
+    MachineConfig m = fourClusterConfig(32, 1);
+    Ddg g = diamondLoop(lat);
+    LoopCompiler compiler(m, SchedulerKind::Gp);
+    CompiledLoop compiled = compiler.compile(g);
+    LoopKey key = makeLoopKey(g, m, SchedulerKind::Gp, {});
+
+    DiskCache cache(dir, 0);
+    CompiledLoop out;
+    EXPECT_FALSE(cache.lookup(key, out));
+    cache.store(key, compiled);
+    ASSERT_TRUE(cache.lookup(key, out));
+    expectLoopsIdentical(compiled, out, "round trip");
+
+    DiskCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.stores, 1u);
+    EXPECT_EQ(stats.corruptEvicted, 0u);
+
+    // A second cache object over the same directory — a new process
+    // in miniature — sees the record.
+    DiskCache reopened(dir, 0);
+    ASSERT_TRUE(reopened.lookup(key, out));
+    expectLoopsIdentical(compiled, out, "reopened");
+    fs::remove_all(dir);
+}
+
+// --- the warm-rerun acceptance bar --------------------------------
+
+TEST(DiskCache, WarmRerunHitsOverNinetyPercentBitIdentical)
+{
+    std::string dir = freshCacheDir("warm");
+    LatencyTable lat;
+    std::vector<Program> suite = specFp95Suite(lat);
+    suite.resize(3);
+    MachineConfig m = fourClusterConfig(32, 1);
+
+    std::vector<CompiledLoop> cold;
+    {
+        EngineOptions options;
+        options.jobs = 2;
+        options.cacheDir = dir;
+        Engine engine(options);
+        std::vector<EngineJob> batch = suiteBatch(suite, m);
+        cold = engine.compileBatch(batch);
+        EngineStats stats = engine.stats();
+        EXPECT_EQ(stats.diskHits, 0u);
+        EXPECT_GT(stats.diskStores, 0u);
+    }
+
+    // A fresh engine (fresh in-memory cache): every unique shape
+    // must now be served from disk.
+    EngineOptions options;
+    options.jobs = 2;
+    options.cacheDir = dir;
+    Engine engine(options);
+    std::vector<EngineJob> batch = suiteBatch(suite, m);
+    std::vector<CompiledLoop> warm = engine.compileBatch(batch);
+
+    EngineStats stats = engine.stats();
+    EXPECT_GE(stats.diskHitRate(), 0.9)
+        << "diskHits " << stats.diskHits << " diskMisses "
+        << stats.diskMisses;
+    EXPECT_EQ(stats.cacheMisses, 0u) << "nothing should recompile";
+
+    ASSERT_EQ(cold.size(), warm.size());
+    for (std::size_t i = 0; i < cold.size(); ++i) {
+        expectLoopsIdentical(cold[i], warm[i],
+                             "batch index " + std::to_string(i));
+    }
+    fs::remove_all(dir);
+}
+
+// --- corruption robustness ----------------------------------------
+
+namespace
+{
+
+/**
+ * Compiles one loop through an engine bound to @p dir (publishing
+ * one record), corrupts that record with @p corrupt, then verifies
+ * the corrupted store degrades to a miss: a fresh engine recompiles,
+ * the result is bit-identical to a cache-less compile, and the loop
+ * itself passes the independent schedule oracle.
+ */
+void
+corruptionScenario(const std::string &tag,
+                   const std::function<void(const fs::path &)>
+                       &corrupt)
+{
+    std::string dir = freshCacheDir(tag);
+    LatencyTable lat;
+    MachineConfig m = fourClusterConfig(32, 1);
+    Ddg g = memHeavyLoop(5, lat);
+
+    // Reference: a cache-less compile, plus the oracle on a fresh
+    // schedule of the same loop.
+    LoopCompiler compiler(m, SchedulerKind::Gp);
+    CompiledLoop reference = compiler.compile(g);
+    auto oracle = scheduleLoop(g, m);
+    ASSERT_TRUE(oracle.has_value());
+    auto validation = validateSchedule(g, m, *oracle);
+    ASSERT_TRUE(validation) << validation.message;
+
+    {
+        EngineOptions options;
+        options.jobs = 1;
+        options.cacheDir = dir;
+        Engine engine(options);
+        engine.compileOne(
+            EngineJob{&g, &m, SchedulerKind::Gp, {}});
+    }
+    std::vector<fs::path> records = recordFiles(dir);
+    ASSERT_EQ(records.size(), 1u);
+    corrupt(records[0]);
+
+    EngineOptions options;
+    options.jobs = 1;
+    options.cacheDir = dir;
+    Engine engine(options);
+    CompiledLoop recompiled = engine.compileOne(
+        EngineJob{&g, &m, SchedulerKind::Gp, {}});
+
+    // The corrupted record was a miss (and was evicted), the loop
+    // was recompiled, and the recompiled schedule is bit-identical
+    // to the never-cached reference.
+    EngineStats stats = engine.stats();
+    EXPECT_EQ(stats.diskHits, 0u);
+    EXPECT_EQ(stats.corruptEvicted, 1u);
+    EXPECT_EQ(stats.cacheMisses, 1u);
+    expectLoopsIdentical(reference, recompiled, tag);
+    fs::remove_all(dir);
+}
+
+} // namespace
+
+TEST(DiskCache, TruncatedRecordIsAMissAndEvicted)
+{
+    corruptionScenario("truncate", [](const fs::path &path) {
+        const std::uintmax_t size = fs::file_size(path);
+        fs::resize_file(path, size / 2);
+    });
+}
+
+TEST(DiskCache, BitFlippedRecordIsAMissAndEvicted)
+{
+    corruptionScenario("bitflip", [](const fs::path &path) {
+        std::string bytes;
+        {
+            std::ifstream in(path, std::ios::binary);
+            std::ostringstream buffer;
+            buffer << in.rdbuf();
+            bytes = buffer.str();
+        }
+        ASSERT_GT(bytes.size(), recordHeaderSize);
+        // Flip one payload byte (past the header) so the checksum
+        // layer, not the framing, must catch it.
+        std::size_t at = recordHeaderSize + bytes.size() / 3;
+        bytes[at] = static_cast<char>(bytes[at] ^ 0x01);
+        std::ofstream out(path,
+                          std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+    });
+}
+
+TEST(DiskCache, VersionBumpedRecordIsAMissAndEvicted)
+{
+    corruptionScenario("verbump", [](const fs::path &path) {
+        std::fstream io(path, std::ios::binary | std::ios::in |
+                                  std::ios::out);
+        io.seekp(
+            static_cast<std::streamoff>(recordVersionOffset));
+        char next = static_cast<char>(recordFormatVersion + 1);
+        io.write(&next, 1);
+    });
+}
+
+TEST(DiskCache, GarbageFileIsAMissAndEvicted)
+{
+    std::string dir = freshCacheDir("garbage");
+    LatencyTable lat;
+    MachineConfig m = twoClusterConfig(32, 1);
+    Ddg g = diamondLoop(lat);
+    LoopKey key = makeLoopKey(g, m, SchedulerKind::Gp, {});
+
+    DiskCache cache(dir, 0);
+    // Plant garbage exactly where this key's record would live.
+    LoopCompiler compiler(m, SchedulerKind::Gp);
+    cache.store(key, compiler.compile(g));
+    std::vector<fs::path> records = recordFiles(dir);
+    ASSERT_EQ(records.size(), 1u);
+    {
+        std::ofstream out(records[0],
+                          std::ios::binary | std::ios::trunc);
+        out << "not a cache record at all";
+    }
+
+    CompiledLoop out;
+    EXPECT_FALSE(cache.lookup(key, out));
+    EXPECT_EQ(cache.stats().corruptEvicted, 1u);
+    EXPECT_TRUE(recordFiles(dir).empty()) << "bad record not evicted";
+    fs::remove_all(dir);
+}
+
+// --- size budget ---------------------------------------------------
+
+TEST(DiskCache, CompactionEnforcesTheByteBudget)
+{
+    std::string dir = freshCacheDir("budget");
+    LatencyTable lat;
+    MachineConfig m = fourClusterConfig(32, 1);
+
+    // Size one record, then budget for roughly four of them.
+    Ddg probe = chainLoop(8, lat);
+    LoopCompiler compiler(m, SchedulerKind::Gp);
+    CompiledLoop compiled = compiler.compile(probe);
+    LoopKey probeKey = makeLoopKey(probe, m, SchedulerKind::Gp, {});
+    const std::uint64_t recordSize =
+        encodeCacheRecord(probeKey, compiled).size();
+    const std::uint64_t budget = recordSize * 4;
+
+    DiskCache cache(dir, budget);
+    for (int n = 4; n < 20; ++n) {
+        Ddg g = chainLoop(n, lat); // distinct shapes, distinct keys
+        LoopCompiler c(m, SchedulerKind::Gp);
+        cache.store(makeLoopKey(g, m, SchedulerKind::Gp, {}),
+                    c.compile(g));
+    }
+    // Compaction kept the store within (about) the budget. Records
+    // differ slightly in size, so allow one record of slack.
+    EXPECT_LE(cache.residentBytes(), budget + recordSize);
+    EXPECT_GT(cache.stats().compacted, 0u);
+    EXPECT_FALSE(recordFiles(dir).empty());
+    fs::remove_all(dir);
+}
+
+// --- concurrency ---------------------------------------------------
+
+/**
+ * Two engines — two in-memory caches, one shared directory — compile
+ * an overlapping batch concurrently. Results must be bit-identical
+ * to a serial cache-less run, and the store must contain only
+ * complete, valid records afterwards (the atomic-rename guarantee);
+ * run under TSan to audit the synchronization.
+ */
+TEST(DiskCache, ConcurrentEnginesSharingADirectoryStayExact)
+{
+    std::string dir = freshCacheDir("concurrent");
+    LatencyTable lat;
+    std::vector<Program> suite = specFp95Suite(lat);
+    suite.resize(4);
+    MachineConfig m = fourClusterConfig(32, 1);
+    std::vector<EngineJob> batch = suiteBatch(suite, m);
+
+    // Serial cache-less reference.
+    Engine reference(serialEngineOptions());
+    std::vector<CompiledLoop> expected =
+        reference.compileBatch(batch);
+
+    EngineOptions options;
+    options.jobs = 4;
+    options.cacheDir = dir;
+    Engine a(options);
+    Engine b(options);
+
+    std::vector<CompiledLoop> resultsA;
+    std::vector<CompiledLoop> resultsB;
+    std::thread threadA(
+        [&] { resultsA = a.compileBatch(batch); });
+    std::thread threadB(
+        [&] { resultsB = b.compileBatch(batch); });
+    threadA.join();
+    threadB.join();
+
+    ASSERT_EQ(resultsA.size(), expected.size());
+    ASSERT_EQ(resultsB.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        expectLoopsIdentical(expected[i], resultsA[i],
+                             "engine A index " + std::to_string(i));
+        expectLoopsIdentical(expected[i], resultsB[i],
+                             "engine B index " + std::to_string(i));
+    }
+
+    // No partial records: no temp files remain and every record in
+    // the store decodes and verifies in full.
+    EXPECT_TRUE(strayFiles(dir).empty());
+    std::vector<fs::path> records = recordFiles(dir);
+    EXPECT_FALSE(records.empty());
+    for (const fs::path &path : records) {
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        LoopKey key;
+        CompiledLoop value;
+        EXPECT_TRUE(decodeCacheRecord(buffer.str(), key, value))
+            << path << " is not a complete valid record";
+    }
+    fs::remove_all(dir);
+}

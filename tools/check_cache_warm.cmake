@@ -1,0 +1,53 @@
+# Cold-then-warm gpsched_cli run over one --cache-dir: the warm run
+# uses a fresh engine (fresh process, fresh in-memory cache), so
+# every unique loop shape must be served by the persistent layer —
+# diskHits > 0 and cacheMisses (compilations) == 0 — and the per-loop
+# metrics must be identical to the cold run's.
+#
+# Variables: CLI (gpsched_cli path), DDG (input file), CACHE (dir).
+
+if(NOT DEFINED CLI OR NOT DEFINED DDG OR NOT DEFINED CACHE)
+  message(FATAL_ERROR "need -DCLI=... -DDDG=... -DCACHE=...")
+endif()
+
+file(REMOVE_RECURSE "${CACHE}")
+
+foreach(run cold warm)
+  execute_process(
+    COMMAND ${CLI} --scheme all --jobs 2 --cache-dir ${CACHE}
+            --json - ${DDG}
+    RESULT_VARIABLE status
+    OUTPUT_VARIABLE ${run}_out
+    ERROR_VARIABLE err
+  )
+  if(NOT status EQUAL 0)
+    message(FATAL_ERROR "${run} run failed (${status}): ${err}")
+  endif()
+endforeach()
+
+if(NOT cold_out MATCHES "\"diskStores\": [1-9]")
+  message(FATAL_ERROR "cold run stored nothing:\n${cold_out}")
+endif()
+if(NOT warm_out MATCHES "\"diskHits\": [1-9]")
+  message(FATAL_ERROR "warm run hit nothing:\n${warm_out}")
+endif()
+if(NOT warm_out MATCHES "\"cacheMisses\": 0")
+  message(FATAL_ERROR "warm run recompiled:\n${warm_out}")
+endif()
+
+# The per-loop reports must agree metric for metric. Strip the
+# engine-stats block (and schedSeconds, which is wall clock) before
+# comparing.
+foreach(run cold warm)
+  string(REGEX REPLACE "\"engine\": {[^}]*}" "" ${run}_trim
+         "${${run}_out}")
+  string(REGEX REPLACE "\"schedSeconds\": [^,}\n]*" "" ${run}_trim
+         "${${run}_trim}")
+endforeach()
+if(NOT cold_trim STREQUAL warm_trim)
+  message(FATAL_ERROR
+    "warm report differs from cold report\n--- cold ---\n${cold_out}"
+    "\n--- warm ---\n${warm_out}")
+endif()
+
+file(REMOVE_RECURSE "${CACHE}")

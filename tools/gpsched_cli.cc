@@ -20,6 +20,8 @@
  *     --scheme uracam|fixed|gp|all          scheme (default gp)
  *     --jobs N          engine workers; 0 = hardware (default 0)
  *     --repeat N        compile the batch N times (cache demo)
+ *     --cache-dir PATH  persistent compile cache directory; results
+ *                       are reused across runs (default: disabled)
  *     --json PATH       report path; '-' = stdout (default '-')
  */
 
@@ -54,6 +56,7 @@ struct CliOptions
     std::string scheme = "gp";
     int jobs = 0;
     int repeat = 1;
+    std::string cacheDir;
     std::string jsonPath = "-";
     std::vector<std::string> files;
 };
@@ -74,6 +77,8 @@ usage(const char *argv0, int status)
        << "  --scheme uracam|fixed|gp|all (default gp)\n"
        << "  --jobs N         engine workers, 0 = hardware (default 0)\n"
        << "  --repeat N       compile the batch N times (default 1)\n"
+       << "  --cache-dir PATH persistent compile cache directory\n"
+       << "                   (reused across runs; default off)\n"
        << "  --json PATH      JSON report path, '-' = stdout\n";
     std::exit(status);
 }
@@ -136,6 +141,8 @@ parseArgs(int argc, char **argv)
             options.jobs = countValue(i);
         else if (arg == "--repeat")
             options.repeat = countValue(i);
+        else if (arg == "--cache-dir")
+            options.cacheDir = needValue(i);
         else if (arg == "--json")
             options.jsonPath = needValue(i);
         else if (arg == "--help" || arg == "-h")
@@ -319,6 +326,12 @@ writeReport(std::ostream &os, const CliOptions &options,
     json.member("cacheMisses", stats.cacheMisses);
     json.member("coalesced", stats.coalesced);
     json.member("hitRate", stats.hitRate());
+    json.member("cacheDir", options.cacheDir);
+    json.member("diskHits", stats.diskHits);
+    json.member("diskMisses", stats.diskMisses);
+    json.member("diskStores", stats.diskStores);
+    json.member("corruptEvicted", stats.corruptEvicted);
+    json.member("diskHitRate", stats.diskHitRate());
     json.endObject();
     json.endObject();
 }
@@ -335,6 +348,7 @@ main(int argc, char **argv)
 
     EngineOptions engineOptions;
     engineOptions.jobs = options.jobs;
+    engineOptions.cacheDir = options.cacheDir;
     Engine engine(engineOptions);
 
     std::vector<EngineJob> batch;
