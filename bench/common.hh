@@ -163,6 +163,11 @@ void emitPanelsJson(const BenchOptions &options,
  * of string labels plus numeric values, so every driver (figures and
  * ablations alike) can join the nightly JSON trajectory and
  * tools/bench_delta.py can diff runs without per-bench schemas.
+ * The emitted JSON shape — and the engine/cache statistics block
+ * appended to every report — is documented field by field in
+ * docs/ARCHITECTURE.md ("Benches and the JSON report schemas");
+ * value columns whose name contains "ipc" are regression-gated
+ * per row by the nightly bench_delta.py run.
  */
 struct MetricRow
 {

@@ -130,7 +130,8 @@ LoopCompiler::compile(const Ddg &ddg) const
                                ? plannedMemOps(ddg, machine_,
                                                part.partition)
                                : std::vector<int>{},
-                           options_.fomThreshold);
+                           options_.fomThreshold,
+                           options_.transfer);
         const Partition *assignment =
             partitioned ? &part.partition : nullptr;
         ClusterPolicy attempt_policy =

@@ -73,6 +73,20 @@ struct LoopCompilerOptions
     /** GP re-partition rule (SchedulerKind::Gp only). */
     RepartitionPolicy repartition = RepartitionPolicy::Selective;
 
+    /**
+     * Bus-class transfer cost model (sched/schedule.hh): slack-aware
+     * by default, TransferCostPolicy::FastestFirst restores the
+     * pre-cost-model *transfer selection* (the partitioner's
+     * cut-edge cost input changed unconditionally to the expected
+     * bus latency — see GpPartitionerOptions::assignment — so this
+     * knob alone is not a full pre-PR baseline on multi-class
+     * machines whose expectation rounds above the fastest class).
+     * Irrelevant on single-bus-class machines, where both policies
+     * coincide. Keyed into the engine's LoopKey alongside the
+     * partitioner's AssignmentPolicy.
+     */
+    TransferPolicyOptions transfer;
+
     /** Figure-of-merit comparison threshold. */
     double fomThreshold = 10.0;
 

@@ -104,12 +104,15 @@ encodeOptions(Encoder &enc, SchedulerKind kind,
 {
     enc.field('K', static_cast<int>(kind));
     enc.field('r', static_cast<int>(options.repartition));
+    enc.field('T', static_cast<int>(options.transfer.costModel));
+    enc.field('z', options.transfer.slackMargin);
     enc.field('f', options.fomThreshold);
     enc.field('m', options.maxIiSlack);
     enc.field('h', options.maxIiHardCap);
 
     const GpPartitionerOptions &part = options.partitioner;
     enc.field('M', static_cast<int>(part.matching));
+    enc.field('A', static_cast<int>(part.assignment));
     enc.field('w', part.edgeWeights.useDelayTerm ? 1 : 0);
     enc.field('W', part.edgeWeights.useSlackTerm ? 1 : 0);
     enc.field('b', part.refine.balancePass ? 1 : 0);

@@ -237,6 +237,28 @@ MachineConfig::maxBusLatency() const
     return buses_.empty() ? 1 : buses_.back().latency;
 }
 
+int
+MachineConfig::expectedBusLatency() const
+{
+    if (buses_.empty())
+        return 1;
+    // A non-pipelined bus of latency L sustains count/L transfers per
+    // cycle. If the fabric's traffic spreads in proportion to that
+    // capacity, the mean latency a transfer observes is
+    //
+    //   sum_i cap_i * lat_i / sum_i cap_i  =  numBuses / sum_i cap_i.
+    //
+    // Exactly the class latency when one class exists, so homogeneous
+    // fabrics (every Table-1 machine) are unaffected by heuristics
+    // switching from minBusLatency() to this model.
+    double capacity = 0.0;
+    for (const BusDesc &bus : buses_)
+        capacity += static_cast<double>(bus.count) / bus.latency;
+    double expected = static_cast<double>(numBuses()) / capacity;
+    int rounded = static_cast<int>(expected + 0.5);
+    return std::max(1, rounded);
+}
+
 MachineConfig
 MachineConfig::withTotalRegs(int regs, const std::string &name) const
 {

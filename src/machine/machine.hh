@@ -176,6 +176,18 @@ class MachineConfig
     /** Slowest bus latency (1 on bus-less machines; heuristics). */
     int maxBusLatency() const;
 
+    /**
+     * Capacity-weighted mean transfer latency over every bus class
+     * (1 on bus-less machines), the bus-class cost-model input the
+     * partitioner's edge weights and estimator use: a class of
+     * @c count non-pipelined buses of latency @c lat sustains
+     * count/lat transfers per cycle, so the expectation is
+     * numBuses() / sum_i(count_i / lat_i), rounded to the nearest
+     * cycle. Equals the class latency on single-class fabrics, so
+     * every homogeneous Table-1 preset is unaffected.
+     */
+    int expectedBusLatency() const;
+
     /** Operation latency/occupancy table. */
     const LatencyTable &latencies() const { return latencies_; }
 

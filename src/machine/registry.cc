@@ -1,5 +1,8 @@
 #include "machine/registry.hh"
 
+#include <algorithm>
+#include <filesystem>
+
 #include "machine/configs.hh"
 #include "machine/machine_desc.hh"
 #include "support/logging.hh"
@@ -106,6 +109,29 @@ MachineRegistry::at(int i) const
 {
     GPSCHED_ASSERT(i >= 0 && i < size(), "bad registry index ", i);
     return configs_[i];
+}
+
+std::vector<MachineConfig>
+MachineRegistry::resolveDirectory(const std::string &dir) const
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::directory_iterator it(dir, ec);
+    if (ec) {
+        GPSCHED_FATAL("cannot read machine directory '", dir,
+                      "': ", ec.message());
+    }
+    std::vector<fs::path> files;
+    for (const auto &entry : it) {
+        if (entry.path().extension() == ".machine")
+            files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+    std::vector<MachineConfig> machines;
+    machines.reserve(files.size());
+    for (const fs::path &file : files)
+        machines.push_back(resolve(file.string()));
+    return machines;
 }
 
 } // namespace gpsched

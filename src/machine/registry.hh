@@ -54,6 +54,18 @@ class MachineRegistry
      */
     MachineConfig resolve(const std::string &name_or_path) const;
 
+    /**
+     * Resolves every `.machine` file directly under @p dir, sorted
+     * by filename so results are stable across filesystems — the
+     * shared discovery path of the bench_corpus sweep and the
+     * property tests' corpus coverage, so the two can never drift.
+     * Fatal when @p dir cannot be read or a file fails to parse;
+     * returns an empty vector for a directory without `.machine`
+     * files.
+     */
+    std::vector<MachineConfig>
+    resolveDirectory(const std::string &dir) const;
+
     /** Number of registered machines. */
     int size() const { return static_cast<int>(configs_.size()); }
 

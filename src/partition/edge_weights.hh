@@ -41,7 +41,11 @@ struct EdgeWeightOptions
 
 /**
  * Computes the per-edge coarsening weights of @p ddg at initiation
- * interval @p ii with a bus of @p bus_latency cycles.
+ * interval @p ii with a bus of @p bus_latency cycles. On machines
+ * with several bus classes the partitioner passes
+ * MachineConfig::expectedBusLatency() — the capacity-weighted mean
+ * over the classes — which reduces to the single class's latency on
+ * homogeneous fabrics.
  */
 std::vector<std::int64_t>
 computeEdgeWeights(const Ddg &ddg, const LatencyTable &latencies,

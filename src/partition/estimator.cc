@@ -110,25 +110,40 @@ PartitionEstimator::evaluate(const Partition &partition) const
             int o = occ[c * numFuClasses + k];
             if (o > fus * ii_)
                 est.resourcesOk = false;
-            if (fus > 0)
+            if (fus > 0) {
                 res_mii = std::max(res_mii, (o + fus - 1) / fus);
-            // fus == 0 with assigned ops: no II helps; the overload
-            // penalty below ranks the partition last.
+                est.peakUtilPermille = std::max(
+                    est.peakUtilPermille,
+                    static_cast<int>(static_cast<std::int64_t>(o) *
+                                     1000 / (fus * ii_)));
+            } else if (o > 0) {
+                // fus == 0 with assigned ops: no II helps; the
+                // overload penalty below ranks the partition last and
+                // the pressure sentinel dominates every finite peak
+                // (max-ed so an even larger finite overload recorded
+                // earlier is never lowered).
+                est.peakUtilPermille =
+                    std::max(est.peakUtilPermille, 1000000);
+            }
         }
     }
 
     est.iiBus = iiBusBound(ddg_, partition, machine_);
     est.cutEdges = numCutEdges(ddg_, partition);
 
-    // Communication delays on cut flow edges.
+    // Communication delays on cut flow edges: the bus-class cost
+    // model charges a cut value the capacity-weighted expected
+    // latency of the fabric (exactly the class latency on
+    // single-class machines). Hoisted: evaluate() is the refinement
+    // hot path and the machine never changes.
+    const int comm_latency = machine_.expectedBusLatency();
     std::vector<int> &extra = extraScratch_;
     std::fill(extra.begin(), extra.end(), 0);
     for (EdgeId e = 0; e < ddg_.numEdges(); ++e) {
         const auto &edge = ddg_.edge(e);
         if (edge.isFlow() && partition.clusterOf(edge.src) !=
                                  partition.clusterOf(edge.dst)) {
-            // Optimistic: a cut value travels on the fastest bus.
-            extra[e] = machine_.minBusLatency();
+            extra[e] = comm_latency;
         }
     }
 

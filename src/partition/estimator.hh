@@ -11,10 +11,13 @@
  *   T(P) = (niter - 1) * IIeff + pathLength(P)
  *
  * where IIeff = max(II, IIbus(P), per-cluster ResMII(P), RecMII with
- * the bus latency added to every cut flow edge), and pathLength is
- * the flat-schedule length under those same communication delays.
- * Estimates also carry the two tie-break metrics refinement uses:
- * total slack of cut edges (maximize) and cut-edge count (minimize).
+ * the machine's *expected* bus latency — the capacity-weighted mean
+ * over its bus classes — added to every cut flow edge), and
+ * pathLength is the flat-schedule length under those same
+ * communication delays. Estimates also carry the tie-break metrics
+ * refinement uses: total slack of cut edges (maximize), cut-edge
+ * count (minimize) and, on heterogeneous machines, the peak
+ * per-cluster FU-class pressure (minimize).
  */
 
 #ifndef GPSCHED_PARTITION_ESTIMATOR_HH
@@ -61,6 +64,16 @@ struct PartitionEstimate
 
     /** Number of cut edges (second tie-break, minimize). */
     int cutEdges = 0;
+
+    /**
+     * Peak per-cluster FU-class pressure in permille: the maximum
+     * over every (cluster, class) of occupancy * 1000 / (FUs * II),
+     * with ops assigned to a class a cluster lacks scoring a huge
+     * sentinel. The heterogeneity-aware refinement tie-break
+     * (minimize; only consulted on heterogeneous machines so
+     * homogeneous Table-1 results stay bit-identical).
+     */
+    int peakUtilPermille = 0;
 };
 
 /** Evaluates partitions of one DDG at a fixed input II. */

@@ -1,6 +1,7 @@
 #include "partition/multilevel.hh"
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
 
 #include "support/logging.hh"
@@ -13,6 +14,81 @@ GpPartitioner::GpPartitioner(const MachineConfig &machine,
                              GpPartitionerOptions options)
     : machine_(machine), options_(options)
 {
+}
+
+void
+GpPartitioner::assignCapacityBalanced(const Ddg &ddg,
+                                      const CoarseLevel &coarsest,
+                                      const std::vector<int> &order,
+                                      Partition &partition) const
+{
+    const int clusters = machine_.numClusters();
+    const LatencyTable &lat = machine_.latencies();
+
+    // Per-macro occupancy of each FU class.
+    std::vector<int> mocc(
+        static_cast<std::size_t>(coarsest.numNodes()) * numFuClasses,
+        0);
+    for (int m = 0; m < coarsest.numNodes(); ++m) {
+        for (NodeId v : coarsest.members[m]) {
+            Opcode op = ddg.node(v).opcode;
+            mocc[static_cast<std::size_t>(m) * numFuClasses +
+                 static_cast<int>(fuClassOf(op))] += lat.occupancy(op);
+        }
+    }
+
+    // Greedy heaviest-first placement, minimizing the peak
+    // post-placement class pressure load[c][k] / fu[c][k]. A cluster
+    // lacking a class the placement would load (fu == 0, load > 0)
+    // scores infinite and is only ever chosen when every cluster
+    // does — the estimator's overload penalty then sorts it out.
+    std::vector<int> load(
+        static_cast<std::size_t>(clusters) * numFuClasses, 0);
+    for (int m : order) {
+        const int *macro =
+            &mocc[static_cast<std::size_t>(m) * numFuClasses];
+        int best = -1;
+        double best_score = 0.0;
+        for (int c = 0; c < clusters; ++c) {
+            double score = 0.0;
+            for (int k = 0; k < numFuClasses; ++k) {
+                int fus = machine_.fuInCluster(
+                    c, static_cast<FuClass>(k));
+                int after =
+                    load[static_cast<std::size_t>(c) * numFuClasses +
+                         k] +
+                    macro[k];
+                if (after == 0)
+                    continue;
+                double pressure =
+                    fus == 0 ? std::numeric_limits<double>::infinity()
+                             : static_cast<double>(after) / fus;
+                score = std::max(score, pressure);
+            }
+            bool better;
+            if (best == -1) {
+                better = true;
+            } else if (score != best_score) {
+                better = score < best_score;
+            } else if (machine_.issueWidthOfCluster(c) !=
+                       machine_.issueWidthOfCluster(best)) {
+                better = machine_.issueWidthOfCluster(c) >
+                         machine_.issueWidthOfCluster(best);
+            } else {
+                better = false; // keep the lower index
+            }
+            if (better) {
+                best = c;
+                best_score = score;
+            }
+        }
+        for (int k = 0; k < numFuClasses; ++k) {
+            load[static_cast<std::size_t>(best) * numFuClasses + k] +=
+                macro[k];
+        }
+        for (NodeId v : coarsest.members[m])
+            partition.assign(v, best);
+    }
 }
 
 GpPartitionResult
@@ -32,11 +108,13 @@ GpPartitioner::run(const Ddg &ddg, int ii) const
     }
 
     // --- 1. edge weights at the input II -----------------------------
-    // Heterogeneous bus fabrics weight cut edges by the fastest bus
-    // (optimistic, matching the estimator's communication model).
+    // Heterogeneous bus fabrics weight cut edges by the expected
+    // (capacity-weighted mean) bus latency, matching the estimator's
+    // communication model; a single-class fabric reduces to exactly
+    // that class's latency.
     std::vector<std::int64_t> weights =
         computeEdgeWeights(ddg, machine_.latencies(), ii,
-                           machine_.minBusLatency(),
+                           machine_.expectedBusLatency(),
                            options_.edgeWeights);
 
     // --- 2. coarsen ---------------------------------------------------
@@ -44,20 +122,10 @@ GpPartitioner::run(const Ddg &ddg, int ii) const
     CoarseningHierarchy hierarchy(ddg, weights, clusters,
                                   options_.matching, rng);
 
-    // --- 3. initial assignment: heaviest macro-nodes first, one per
-    //        cluster. Clusters are visited widest-issue first so a
-    //        heterogeneous machine hands its biggest cluster the
-    //        heaviest macro-node (a stable no-op when homogeneous) ----
+    // --- 3. initial assignment (AssignmentPolicy) ---------------------
     const CoarseLevel &coarsest = hierarchy.coarsest();
     Partition partition(ddg.numNodes(), clusters);
     {
-        std::vector<int> cluster_order(clusters);
-        std::iota(cluster_order.begin(), cluster_order.end(), 0);
-        std::stable_sort(cluster_order.begin(), cluster_order.end(),
-                         [&](int a, int b) {
-                             return machine_.issueWidthOfCluster(a) >
-                                    machine_.issueWidthOfCluster(b);
-                         });
         std::vector<int> order(coarsest.numNodes());
         std::iota(order.begin(), order.end(), 0);
         std::sort(order.begin(), order.end(), [&](int x, int y) {
@@ -67,10 +135,33 @@ GpPartitioner::run(const Ddg &ddg, int ii) const
                 return sx > sy;
             return x < y;
         });
-        for (std::size_t i = 0; i < order.size(); ++i) {
-            int cluster = cluster_order[i % clusters];
-            for (NodeId v : coarsest.members[order[i]])
-                partition.assign(v, cluster);
+        // Homogeneous machines take the legacy round-robin path
+        // regardless of the configured policy: capacity balancing
+        // has nothing to balance when every cluster is identical,
+        // and forcing the branch — rather than trusting the greedy
+        // rule to tie-break the same way — is what *enforces* the
+        // bit-identical Table-1 parity guarantee (pinned by
+        // tests/test_transfer_policy.cc). Do not remove this
+        // short-circuit as "redundant": the greedy rule can
+        // legitimately stack disjoint-class macro-nodes where
+        // round-robin would separate them.
+        if (options_.assignment == AssignmentPolicy::WidestClusterFirst ||
+            machine_.homogeneous()) {
+            std::vector<int> cluster_order(clusters);
+            std::iota(cluster_order.begin(), cluster_order.end(), 0);
+            std::stable_sort(
+                cluster_order.begin(), cluster_order.end(),
+                [&](int a, int b) {
+                    return machine_.issueWidthOfCluster(a) >
+                           machine_.issueWidthOfCluster(b);
+                });
+            for (std::size_t i = 0; i < order.size(); ++i) {
+                int cluster = cluster_order[i % clusters];
+                for (NodeId v : coarsest.members[order[i]])
+                    partition.assign(v, cluster);
+            }
+        } else {
+            assignCapacityBalanced(ddg, coarsest, order, partition);
         }
     }
 

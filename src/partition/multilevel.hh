@@ -3,12 +3,18 @@
  * The GP scheme's cluster-assignment phase (paper Section 3.2):
  * multilevel graph partitioning of a loop DDG.
  *
- *   1. compute edge weights at the input II (Section 3.2.1),
+ *   1. compute edge weights at the input II (Section 3.2.1), using
+ *      the machine's expected bus latency — the capacity-weighted
+ *      mean over its bus classes — as the cut penalty,
  *   2. coarsen by maximum-weight matching until as many macro-nodes
  *      remain as the machine has clusters,
- *   3. assign each coarsest macro-node to a distinct cluster,
+ *   3. assign each coarsest macro-node to a cluster under the
+ *      configured AssignmentPolicy (capacity-balanced by default;
+ *      see below),
  *   4. refine every level from coarsest to finest with the balance
- *      and edge-impact passes (Section 3.2.2).
+ *      and edge-impact passes (Section 3.2.2); on heterogeneous
+ *      machines the refiner additionally tie-breaks on per-cluster
+ *      FU-class pressure (PartitionEstimate::peakUtilPermille).
  *
  * The result carries the cluster assignment, the bus-imposed bound
  * IIbus that the driver of Section 3.1 compares against the current
@@ -31,13 +37,65 @@
 namespace gpsched
 {
 
-/** Partitioner configuration (defaults reproduce the paper). */
+/**
+ * How the coarsest macro-nodes are seeded onto clusters before
+ * refinement (step 3 of the pipeline above).
+ *
+ * On homogeneous machines the partitioner takes the legacy
+ * round-robin path no matter which policy is configured (the
+ * capacity-balanced greedy rule is *not* mathematically equivalent
+ * to round-robin there — the short-circuit is what enforces
+ * parity), so Table-1 presets schedule bit-identically under either
+ * setting — pinned by tests/test_transfer_policy.cc.
+ */
+enum class AssignmentPolicy
+{
+    /**
+     * Legacy rule: heaviest macro-nodes first, clusters visited
+     * round-robin in descending issue-width order. Ignores *which*
+     * functional-unit classes a cluster actually owns.
+     */
+    WidestClusterFirst,
+
+    /**
+     * Heterogeneity-aware rule (the default): heaviest macro-nodes
+     * first, each placed on the cluster that minimizes the peak
+     * per-FU-class pressure after placement — the cluster's
+     * post-placement occupancy of each class divided by its capacity
+     * of that class, i.e. its share of the machine-wide capacity. A
+     * cluster with 0 units of a class the placement would load is
+     * infinitely pressured and never seeded with it (the 0-FU guards
+     * of the estimator are thereby preserved at seeding time). Ties
+     * prefer the wider cluster, then the lower index, keeping the
+     * policy deterministic.
+     */
+    CapacityBalanced,
+};
+
+/** Partitioner configuration (defaults reproduce the paper on
+ *  homogeneous machines and add heterogeneity awareness beyond it). */
 struct GpPartitionerOptions
 {
     MatchingPolicy matching = MatchingPolicy::GreedyHeavy;
     EdgeWeightOptions edgeWeights;
     RefineOptions refine;
     bool refineEnabled = true;
+
+    /**
+     * Initial-assignment rule for the coarsest level. The default,
+     * AssignmentPolicy::CapacityBalanced, seeds by per-FU-class
+     * capacity shares; AssignmentPolicy::WidestClusterFirst restores
+     * the pre-heterogeneity seeding rule (useful for ablations).
+     * Note that the cut-edge cost input changed *unconditionally*
+     * from the fastest-bus latency to the machine's expected bus
+     * latency, so on multi-bus-class machines whose expectation
+     * rounds above the minimum this knob alone does not reproduce
+     * pre-cost-model partitions; on homogeneous single-class
+     * machines (all Table-1 presets) it does, exactly. Both values
+     * are encoded into the engine's LoopKey, so compiled-loop caches
+     * never alias across policies.
+     */
+    AssignmentPolicy assignment = AssignmentPolicy::CapacityBalanced;
 
     /** Steer refinement away from register-overflowing partitions
      *  (the paper's Section-4.2 future-work heuristic). */
@@ -68,6 +126,17 @@ class GpPartitioner
   private:
     const MachineConfig &machine_;
     GpPartitionerOptions options_;
+
+    /**
+     * AssignmentPolicy::CapacityBalanced seeding: places the coarsest
+     * macro-nodes (visited in @p order, heaviest first) one by one on
+     * the cluster whose peak per-FU-class pressure after the
+     * placement is smallest.
+     */
+    void assignCapacityBalanced(const Ddg &ddg,
+                                const CoarseLevel &coarsest,
+                                const std::vector<int> &order,
+                                Partition &partition) const;
 };
 
 } // namespace gpsched

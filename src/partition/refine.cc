@@ -375,8 +375,15 @@ PartitionRefiner::runEdgeImpactPass(const CoarseLevel &level,
                 better = est.execTime < bestEst.execTime;
             } else if (est.cutSlackTotal != bestEst.cutSlackTotal) {
                 better = est.cutSlackTotal > bestEst.cutSlackTotal;
-            } else {
+            } else if (est.cutEdges != bestEst.cutEdges) {
                 better = est.cutEdges < bestEst.cutEdges;
+            } else if (!machine_.homogeneous()) {
+                // Heterogeneity-aware final tie-break: prefer the
+                // change that leaves the most pressured (cluster, FU
+                // class) least loaded. Never consulted on homogeneous
+                // machines, keeping Table-1 output bit-identical.
+                better = est.peakUtilPermille <
+                         bestEst.peakUtilPermille;
             }
             if (better) {
                 haveBest = true;

@@ -17,8 +17,10 @@
  *     pairwise interchanges that free the capacity), apply the
  *     single change with the largest estimated execution-time
  *     benefit; ties prefer larger total slack of cut edges, then
- *     fewer cut edges; repeat until no positive-benefit change
- *     remains.
+ *     fewer cut edges, then — on heterogeneous machines only — lower
+ *     peak per-cluster FU-class pressure
+ *     (PartitionEstimate::peakUtilPermille); repeat until no
+ *     positive-benefit change remains.
  *
  * Exact execution-time estimates are relatively expensive, so
  * candidates are pre-ranked with a static gain proxy (sum of

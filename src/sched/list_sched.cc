@@ -174,8 +174,14 @@ listSchedule(const Ddg &ddg, const MachineConfig &machine)
         const int occ = lat.occupancy(op);
 
         // Greedy cluster choice: earliest issue, then least loaded.
-        int best_cluster = 0, best_cycle = INT_MAX;
+        // Clusters lacking the op's FU class entirely can never issue
+        // it (and probing them would scan cycles forever); the
+        // machine invariant of >= 1 unit per class machine-wide
+        // guarantees some cluster remains.
+        int best_cluster = -1, best_cycle = INT_MAX;
         for (int c = 0; c < num_clusters; ++c) {
+            if (machine.fuInCluster(c, cls) == 0)
+                continue;
             int earliest = 0;
             bool infeasible = false;
             for (EdgeId e : ddg.inEdges(v)) {
@@ -207,14 +213,14 @@ listSchedule(const Ddg &ddg, const MachineConfig &machine)
                         .canUse(cycle, occ)) {
                 ++cycle;
             }
-            if (cycle < best_cycle ||
+            if (best_cluster == -1 || cycle < best_cycle ||
                 (cycle == best_cycle &&
                  ops_in_cluster[c] < ops_in_cluster[best_cluster])) {
                 best_cycle = cycle;
                 best_cluster = c;
             }
         }
-        GPSCHED_ASSERT(best_cycle != INT_MAX,
+        GPSCHED_ASSERT(best_cluster != -1,
                        "list scheduler found no feasible cluster");
 
         // Commit: allocate the transfers this placement relies on,

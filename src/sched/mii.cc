@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "graph/ddg_analysis.hh"
+#include "support/logging.hh"
 
 namespace gpsched
 {
@@ -23,6 +24,37 @@ resMii(const Ddg &ddg, const MachineConfig &machine)
 int
 computeMii(const Ddg &ddg, const MachineConfig &machine)
 {
+    // A DDG's flow-edge latencies are baked in when the graph is
+    // built (from whatever latency table the builder saw); the
+    // schedulers read op latencies from @p machine. If the machine's
+    // producer latency exceeds an edge's promise, every downstream
+    // layer would disagree about when the value exists — the oracle
+    // validator rejects such schedules — so refuse loudly here, at
+    // the driver choke point, rather than emit a corrupt schedule.
+    // (Machines with the default timing table can never trip this;
+    // it exists for `.machine` files using the `latency` directive
+    // on prebuilt workloads.) Fatal rather than thrown: a mismatch
+    // is a user configuration error per the logging contract, and
+    // the batch engine's thread pool has no per-task exception
+    // channel — an exception escaping a worker would terminate with
+    // a worse message than this diagnostic.
+    const LatencyTable &lat = machine.latencies();
+    for (EdgeId e = 0; e < ddg.numEdges(); ++e) {
+        const DdgEdge &edge = ddg.edge(e);
+        if (!edge.isFlow())
+            continue;
+        int producer = lat.latency(ddg.node(edge.src).opcode);
+        if (edge.latency < producer) {
+            GPSCHED_FATAL(
+                "loop '", ddg.name(), "': flow edge ", edge.src,
+                " -> ", edge.dst, " promises latency ", edge.latency,
+                " but machine '", machine.name(), "' needs ",
+                producer, " for ", toString(ddg.node(edge.src).opcode),
+                "; rebuild the DDG against this machine's latency "
+                "table (its `latency` overrides exceed the table the "
+                "workload was generated with)");
+        }
+    }
     return std::max(resMii(ddg, machine), recMii(ddg));
 }
 

@@ -48,9 +48,10 @@ totalLength(const std::vector<LiveSegment> &segs)
 PartialSchedule::PartialSchedule(const Ddg &ddg,
                                  const MachineConfig &machine, int ii,
                                  std::vector<int> planned_mem_per_cluster,
-                                 double fom_threshold)
+                                 double fom_threshold,
+                                 TransferPolicyOptions transfer)
     : ddg_(ddg), machine_(machine), ii_(ii),
-      fomThreshold_(fom_threshold),
+      fomThreshold_(fom_threshold), transfer_(transfer),
       plannedMemOps_(std::move(planned_mem_per_cluster))
 {
     GPSCHED_ASSERT(ii >= 1, "II must be >= 1");
@@ -364,9 +365,16 @@ PartialSchedule::planTransfer(NodeId producer, int dest_cluster,
         return ranges;
     };
 
-    // Bus first, fastest class first (classes are sorted by ascending
-    // latency): earliest read slot keeps the home lifetime shortest.
-    for (int bc = 0; bc < num_bus_classes; ++bc) {
+    // Bus first, classes probed in cost-model order (within a class
+    // the earliest read slot keeps the home lifetime shortest).
+    // Under SlackAware, classes the ready->use window absorbs with
+    // slackMargin cycles to spare are probed first — slowest of them
+    // first, parking slack-rich transfers on slow buses so the fast
+    // classes stay free for tight (critical-recurrence) windows.
+    // The remaining classes — the complete set under FastestFirst,
+    // for tight windows, or with a single class — are probed
+    // fastest-first (ascending latency), the legacy greedy rule.
+    auto probe_class = [&](int bc) {
         const int lat_bus = machine_.busLatencyOf(bc);
         for (const auto &[lo, hi] : valid_ranges(ready, use - lat_bus)) {
             int b = findSlot(busMrts_[bc], lo, hi, lat_bus,
@@ -380,6 +388,21 @@ PartialSchedule::planTransfer(NodeId producer, int dest_cluster,
                                     bc, b, 0, 0, b, b + lat_bus};
             return true;
         }
+        return false;
+    };
+    auto steered_slow = [&](int bc) {
+        return transfer_.costModel == TransferCostPolicy::SlackAware &&
+               num_bus_classes > 1 &&
+               machine_.busLatencyOf(bc) + transfer_.slackMargin <=
+                   use - ready;
+    };
+    for (int bc = num_bus_classes - 1; bc >= 0; --bc) {
+        if (steered_slow(bc) && probe_class(bc))
+            return true;
+    }
+    for (int bc = 0; bc < num_bus_classes; ++bc) {
+        if (!steered_slow(bc) && probe_class(bc))
+            return true;
     }
 
     // Communication through memory: earliest store, latest load.

@@ -11,8 +11,11 @@
  *
  *  - functional-unit reservation tables per (cluster, FU class),
  *    sized from the per-cluster machine description,
- *  - the non-pipelined inter-cluster bus pools, one per bus class
- *    (transfers ride the fastest class with a free slot),
+ *  - the non-pipelined inter-cluster bus pools, one per bus class;
+ *    which class a transfer rides is decided by the configured
+ *    TransferCostPolicy (slack-aware by default: tight transfers
+ *    probe fastest-first, slack-rich ones are steered to slower
+ *    classes so the fast buses stay free for the critical path),
  *  - exact per-cluster register pressure (kernel MaxLive) via value
  *    lifetimes, including loop-carried consumption at use + II*dist,
  *  - one communication per (value, destination cluster): a bus copy
@@ -45,6 +48,58 @@
 
 namespace gpsched
 {
+
+/**
+ * How planTransfer() picks a bus class for a value crossing
+ * clusters on a machine with several classes. With a single bus
+ * class (every Table-1 preset) the two policies are identical by
+ * construction — there is only one class to pick — so homogeneous
+ * fig2/fig3 output is bit-identical under either (pinned by
+ * tests/test_transfer_policy.cc).
+ */
+enum class TransferCostPolicy
+{
+    /**
+     * Legacy greedy rule: classes are probed fastest-first, so slow
+     * buses only carry traffic once every faster class is saturated
+     * in the transfer's window — even for transfers with cycles of
+     * slack to spare.
+     */
+    FastestFirst,
+
+    /**
+     * Slack-aware cost model (the default): a transfer whose
+     * ready-to-use window fits a slower class with at least
+     * TransferPolicyOptions::slackMargin cycles to spare is steered
+     * to the slowest such class first, preserving the fast classes
+     * for transfers on or near the critical recurrence (whose tight
+     * windows keep probing fastest-first). Feasibility never
+     * regresses: when the preferred slow classes have no free slot
+     * the probe falls through to the remaining classes
+     * fastest-first, exactly like the legacy rule.
+     */
+    SlackAware,
+};
+
+/** Knobs of the bus-class transfer cost model. */
+struct TransferPolicyOptions
+{
+    TransferCostPolicy costModel = TransferCostPolicy::SlackAware;
+
+    /**
+     * Free cycles a transfer's window must retain beyond a slower
+     * class's latency before the SlackAware policy steers it there.
+     * Larger margins keep more traffic on fast buses; 0 steers any
+     * transfer that merely fits. Keyed into the engine's LoopKey.
+     */
+    int slackMargin = 2;
+
+    bool operator==(const TransferPolicyOptions &other) const
+    {
+        return costModel == other.costModel &&
+               slackMargin == other.slackMargin;
+    }
+};
 
 /** One inter-cluster communication of a value. */
 struct Transfer
@@ -163,11 +218,15 @@ class PartialSchedule
      *        uses the global remaining-memory component instead.
      * @param fom_threshold significant-difference threshold for
      *        figure-of-merit comparisons (percentage points)
+     * @param transfer bus-class transfer cost model (defaults to the
+     *        slack-aware policy; irrelevant on single-bus-class
+     *        machines, where both policies coincide)
      */
     PartialSchedule(const Ddg &ddg, const MachineConfig &machine,
                     int ii,
                     std::vector<int> planned_mem_per_cluster = {},
-                    double fom_threshold = 10.0);
+                    double fom_threshold = 10.0,
+                    TransferPolicyOptions transfer = {});
 
     /** Initiation interval. */
     int ii() const { return ii_; }
@@ -312,6 +371,7 @@ class PartialSchedule
     const MachineConfig &machine_;
     int ii_;
     double fomThreshold_;
+    TransferPolicyOptions transfer_;
 
     std::vector<PlacedOp> placed_;
     int numScheduled_ = 0;
@@ -378,7 +438,12 @@ class PartialSchedule
      * Plans a transfer of @p producer's value to @p dest_cluster
      * with register read >= @p ready and arrival <= @p use, reusing
      * slot claims from @p plan (for intra-placement collisions).
-     * Returns false when impossible.
+     * Bus classes are probed in the order the TransferCostPolicy
+     * dictates — ascending latency under FastestFirst; under
+     * SlackAware, classes the ready->use window absorbs with
+     * slackMargin cycles to spare come first (slowest first),
+     * followed by the remaining classes fastest-first — and memory
+     * communication is the fallback. Returns false when impossible.
      */
     bool planTransfer(NodeId producer, int dest_cluster, int ready,
                       int use, const PlacementPlan &plan,

@@ -53,8 +53,12 @@ constexpr std::uint32_t recordFormatVersion = 1;
  * The canonical string embeds the machine shape and every compiler
  * option, so bumping this constant when that encoding changes
  * invalidates every on-disk record written under the old scheme.
+ *
+ * v2: AssignmentPolicy ('A') and the transfer cost model ('T'/'z')
+ * joined the option encoding — and changed scheduling defaults on
+ * heterogeneous machines — so v1 records are stale.
  */
-constexpr std::uint32_t keySchemaVersion = 1;
+constexpr std::uint32_t keySchemaVersion = 2;
 
 /** Byte offsets of the header fields (for tests and tooling). */
 constexpr std::size_t recordMagicOffset = 0;

@@ -2,21 +2,31 @@
 """Compare two BENCH_*.json trajectories and gate on IPC regressions.
 
 The nightly CI job uploads every bench driver's --json report
-(BENCH_fig2.json, BENCH_ablation_*.json, ...). This tool diffs the
-numeric metrics of two such trajectories — two files, or two
-directories of BENCH_*.json files — and exits non-zero when any
-mean-IPC metric regresses by more than the threshold (default 5%).
+(BENCH_fig2.json, BENCH_corpus.json, BENCH_ablation_*.json, ...).
+This tool diffs the numeric metrics of two such trajectories — two
+files, or two directories of BENCH_*.json files — and exits non-zero
+when any IPC metric regresses by more than the threshold (default
+5%).
 
 Understands both report schemas emitted by bench/common:
 
   * figure panels: {"panels": [{"title", "rows": [{"program",
-    "unified", "uracam", "fixed", "gp"}, ...]}]} — the mean-IPC gate
-    applies to the per-panel "average" rows;
+    "unified", "uracam", "fixed", "gp"}, ...]}]} — the gate applies
+    to *every* row of every panel, per-program rows and the
+    per-panel "average" row alike;
   * metric tables: {"tables": [{"title", "labelColumns",
     "valueColumns", "rows": [{"labels": [...], "values": [...]}]}]}
     — the gate applies to value columns whose name contains "ipc"
-    (case-insensitive);
+    (case-insensitive), on every row;
   * table2_sched_time's bespoke rows (timings: reported, never gated).
+
+Gating is per metric, never per aggregate: each panel is one machine
+and each corpus-table row is one (machine, policy), so a regression
+on a single machine, program or policy can never hide behind an
+improved global or corpus mean. (Every gated quantity is a
+deterministic compilation result — there is no measurement noise to
+tolerate — which is why per-row gating at the same threshold is
+safe.)
 
 Metrics present on only one side are reported but never fail the
 gate, so renaming a configuration or adding a bench does not break
@@ -72,17 +82,24 @@ def collect_metrics(report):
     return metrics
 
 
-def is_gated(key):
-    """True for the mean-IPC metrics the regression gate applies to.
+PANEL_SCHEME_COLUMNS = ("unified", "uracam", "fixed", "gp")
 
-    Panel reports gate the per-panel average row (the paper's
-    mean-IPC bars); metric tables gate any column whose name
-    mentions IPC.
+
+def is_gated(key):
+    """True for the IPC metrics the regression gate applies to.
+
+    Panel reports gate every row (per-program IPCs and the per-panel
+    average — one panel is one machine, so this is per-machine by
+    construction); metric tables gate any column whose name mentions
+    IPC, per row. Aggregate rows (panel averages, the corpus-mean
+    row) are gated too, but never *instead of* their per-machine or
+    per-program constituents: a regression on one machine cannot
+    hide inside an improved aggregate.
     """
-    parts = key.split("/")
-    if "/average/" in key:
+    last = key.split("/")[-1]
+    if last in PANEL_SCHEME_COLUMNS:
         return True
-    return "ipc" in parts[-1].lower()
+    return "ipc" in last.lower()
 
 
 def load_side(path):
@@ -160,14 +177,21 @@ def self_test():
     assert is_gated("fig2_ipc_lat1/p/average/gp")
     assert is_gated("ablation_unroll/t/2c/meanIpc")
     assert not is_gated("ablation_unroll/t/2c/schedSeconds")
-    assert not is_gated("fig2_ipc_lat1/p/swim/gp")
+    # Per-program panel rows are gated, not just the average: a
+    # one-program regression cannot hide in the panel mean.
+    assert is_gated("fig2_ipc_lat1/p/swim/gp")
+    assert is_gated("fig2_ipc_lat1/p/swim/unified")
     # The value-column names the drivers actually emit.
     assert is_gated("ablation_unroll/t/2c/unroll1Ipc")
     assert is_gated("fig_buses/t/2c/gpIpc")
     assert is_gated("ablation_edge_weights/t/2c/delaySlackIpc")
+    assert is_gated("bench_corpus/Corpus sweep/hetero-2c/slack/gpIpc")
     assert not is_gated("ablation_regpressure/t/2c/gainPct")
     assert not is_gated("fig_buses/t/2c/buses")
     assert not is_gated("table1_configs/t/2c/regs")
+    assert not is_gated(
+        "bench_corpus/Transfer policy delta/hetero-2c/busClasses")
+    assert not is_gated("table2_sched_time/2c/gpSeconds")
 
     # A 3% dip passes at the default 5% threshold...
     new = dict(old)
@@ -178,6 +202,12 @@ def self_test():
     new["fig2_ipc_lat1/p/average/gp"] = 5.0 * 0.90
     _, failures = compare(old, new, 5.0, False)
     assert failures == ["fig2_ipc_lat1/p/average/gp"], failures
+    # ...a one-program dip fails even when the average improves...
+    new = dict(old)
+    new["fig2_ipc_lat1/p/swim/gp"] = 5.0 * 0.90
+    new["fig2_ipc_lat1/p/average/gp"] = 5.0 * 1.10
+    _, failures = compare(old, new, 5.0, False)
+    assert failures == ["fig2_ipc_lat1/p/swim/gp"], failures
     # ...an ungated timing regression never fails...
     new = dict(old)
     new["ablation_unroll/t/2c/schedSeconds"] = 100.0
@@ -186,6 +216,38 @@ def self_test():
     # ...and vanished metrics are ignored.
     _, failures = compare(old, {}, 5.0, False)
     assert not failures, failures
+
+    # Per-machine corpus gating: one machine's regression fails the
+    # gate even when the corpus-mean row improves (a regression on
+    # one corpus machine cannot hide in the aggregate).
+    corpus = {
+        "bench": "bench_corpus",
+        "tables": [{
+            "title": "Transfer policy delta",
+            "labelColumns": ["machine"],
+            "valueColumns": ["busClasses", "gpFastestIpc",
+                             "gpSlackIpc", "slackGainPct"],
+            "rows": [
+                {"labels": ["hetero-2c"],
+                 "values": [2.0, 4.0, 4.0, 0.0]},
+                {"labels": ["regstarved-4c"],
+                 "values": [2.0, 4.6, 4.7, 1.7]},
+                {"labels": ["corpus-mean"],
+                 "values": [0.0, 4.3, 4.35, 0.8]},
+            ],
+        }],
+    }
+    old_corpus = collect_metrics(corpus)
+    key = "bench_corpus/Transfer policy delta/hetero-2c/gpSlackIpc"
+    assert key in old_corpus, old_corpus
+    new_corpus = dict(old_corpus)
+    new_corpus[key] = 4.0 * 0.9  # one machine regresses 10%...
+    mean_key = ("bench_corpus/Transfer policy delta/corpus-mean/"
+                "gpSlackIpc")
+    new_corpus[mean_key] = 4.35 * 1.1  # ...the aggregate improves
+    _, failures = compare(old_corpus, new_corpus, 5.0, False)
+    assert failures == [key], failures
+
     print("bench_delta self-test OK")
     return 0
 

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Check intra-repository markdown links.
+
+Scans every tracked-looking *.md file under the repository root
+(skipping build*/ and hidden directories), extracts inline links
+[text](target), and verifies that every *relative* target resolves to
+an existing file or directory. Targets with a #fragment additionally
+have the fragment checked against the destination file's headings
+(GitHub-style slugs). External links (http/https/mailto) and pure
+in-page anchors are checked against the current file's headings.
+
+Exit status: 0 when every link resolves, 1 otherwise (each broken
+link printed as file:line: message). Run by the docs CI job and
+registered as a CTest entry, so broken links fail locally too.
+
+Usage:
+  check_links.py [ROOT]     # default: the repository root
+  check_links.py --self-test
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+SKIP_DIRS = {"build", ".git", ".github"}
+
+# Inline markdown link: [text](target). Images ![alt](target) match
+# too (the leading char is irrelevant to the target check). Targets
+# with spaces are not used in this repo and are flagged as broken.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+
+
+def github_slug(heading):
+    """GitHub's anchor slug for a heading line (close enough: the
+    repo's headings use letters, digits, spaces, backticks, dots,
+    parentheses and dashes)."""
+    text = heading.strip().lower().replace("`", "")
+    out = []
+    for ch in text:
+        if ch.isalnum():
+            out.append(ch)
+        elif ch in (" ", "-"):
+            out.append("-")
+    return "".join(out)
+
+
+def heading_slugs(path):
+    slugs = set()
+    try:
+        with open(path, encoding="utf-8") as handle:
+            in_code = False
+            for line in handle:
+                if line.lstrip().startswith("```"):
+                    in_code = not in_code
+                    continue
+                if in_code:
+                    continue
+                match = HEADING_RE.match(line)
+                if match:
+                    slugs.add(github_slug(match.group(1)))
+    except OSError:
+        pass
+    return slugs
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d for d in dirnames
+            if d not in SKIP_DIRS and not d.startswith(".")
+            and not d.startswith("build")
+        ]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_file(path, root):
+    """Returns a list of 'file:line: message' problem strings."""
+    problems = []
+    with open(path, encoding="utf-8") as handle:
+        lines = handle.readlines()
+    in_code = False
+    for lineno, line in enumerate(lines, 1):
+        if line.lstrip().startswith("```"):
+            in_code = not in_code
+            continue
+        if in_code:
+            continue
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            if target.startswith("#"):
+                if github_slug(target[1:]) not in heading_slugs(path):
+                    problems.append(
+                        f"{path}:{lineno}: broken anchor "
+                        f"'{target}'")
+                continue
+            dest, _, fragment = target.partition("#")
+            dest_path = os.path.normpath(
+                os.path.join(os.path.dirname(path), dest))
+            if not os.path.exists(dest_path):
+                problems.append(
+                    f"{path}:{lineno}: broken link '{target}' "
+                    f"(no such file '{os.path.relpath(dest_path, root)}')")
+                continue
+            if fragment and dest_path.endswith(".md"):
+                if github_slug(fragment) not in heading_slugs(
+                        dest_path):
+                    problems.append(
+                        f"{path}:{lineno}: broken anchor "
+                        f"'#{fragment}' in '{dest}'")
+    return problems
+
+
+def self_test():
+    assert github_slug("Subsystem map") == "subsystem-map"
+    assert (github_slug("`latency OPCODE N [occupancy N]`")
+            == "latency-opcode-n-occupancy-n")
+    assert (github_slug("Benches and the JSON report schemas")
+            == "benches-and-the-json-report-schemas")
+    assert LINK_RE.findall("see [x](a.md) and [y](b.md#c)") == [
+        "a.md", "b.md#c"]
+    assert LINK_RE.findall("![img](pic.png)") == ["pic.png"]
+    assert LINK_RE.findall("code `[i](j)` is still a link") == ["j"]
+    print("check_links self-test OK")
+    return 0
+
+
+def main(argv):
+    if argv and argv[0] == "--self-test":
+        return self_test()
+    root = os.path.abspath(argv[0]) if argv else os.path.abspath(
+        os.path.join(os.path.dirname(__file__), os.pardir))
+    problems = []
+    count = 0
+    for path in sorted(markdown_files(root)):
+        count += 1
+        problems.extend(check_file(path, root))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(f"checked {count} markdown files: "
+          f"{len(problems)} broken link(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
