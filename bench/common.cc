@@ -1,6 +1,7 @@
 #include "common.hh"
 
 #include <cerrno>
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -177,6 +178,7 @@ writeEngineStatsJson(JsonWriter &json, const Engine &engine)
     json.member("cacheHits", stats.cacheHits);
     json.member("cacheMisses", stats.cacheMisses);
     json.member("coalesced", stats.coalesced);
+    json.member("failed", stats.failed);
     json.member("hitRate", stats.hitRate());
     json.member("cacheDir", engine.diskCache()
                                 ? engine.diskCache()->dir()
@@ -231,6 +233,14 @@ runPanel(Engine &engine, const std::vector<Program> &suite,
     panel.uracamSeconds = ur.schedSeconds;
     panel.fixedSeconds = fx.schedSeconds;
     panel.gpSeconds = gp.schedSeconds;
+
+    std::uint64_t skipped = u.failedLoops + ur.failedLoops +
+                            fx.failedLoops + gp.failedLoops;
+    if (skipped > 0) {
+        GPSCHED_WARN("panel '", title, "': ", skipped,
+                     " loop compiles failed and were skipped; "
+                     "figures cover the surviving loops only");
+    }
     return panel;
 }
 

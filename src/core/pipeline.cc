@@ -2,6 +2,7 @@
 
 #include "core/metrics.hh"
 #include "engine/engine.hh"
+#include "support/logging.hh"
 
 namespace gpsched
 {
@@ -9,15 +10,28 @@ namespace gpsched
 namespace
 {
 
-/** Folds per-loop results (in loop order) into a ProgramResult. */
+/**
+ * Folds per-loop results (in loop order) into a ProgramResult.
+ * Failed loops are skipped and reported: their diagnostics land in
+ * ProgramResult::failures (with a stderr warning) and every
+ * aggregate is computed over the successful loops only.
+ */
 ProgramResult
 aggregateProgram(const Program &program,
-                 std::vector<CompiledLoop> loops)
+                 std::vector<CompileResult> results)
 {
     ProgramResult result;
     result.name = program.name;
-    result.loops.reserve(loops.size());
-    for (CompiledLoop &compiled : loops) {
+    result.loops.reserve(results.size());
+    for (CompileResult &item : results) {
+        if (!item.ok()) {
+            GPSCHED_WARN("skipping loop '", item.error->loopName(),
+                         "' of program '", program.name,
+                         "': ", item.error->what());
+            result.failures.push_back(std::move(*item.error));
+            continue;
+        }
+        CompiledLoop &compiled = item.loop;
         result.totalOps += compiled.ops;
         result.totalCycles += compiled.cycles;
         result.schedSeconds += compiled.schedSeconds;
@@ -66,14 +80,14 @@ compileSuite(Engine &engine, const std::vector<Program> &suite,
         jobs.insert(jobs.end(), programJobs.begin(),
                     programJobs.end());
     }
-    std::vector<CompiledLoop> compiled = engine.compileBatch(jobs);
+    std::vector<CompileResult> compiled = engine.compileBatch(jobs);
 
     SuiteResult result;
     result.programs.reserve(suite.size());
     std::vector<double> ipcs;
     std::size_t next = 0;
     for (const Program &program : suite) {
-        std::vector<CompiledLoop> loops(
+        std::vector<CompileResult> loops(
             std::make_move_iterator(compiled.begin() +
                                     static_cast<std::ptrdiff_t>(next)),
             std::make_move_iterator(
@@ -85,6 +99,7 @@ compileSuite(Engine &engine, const std::vector<Program> &suite,
             aggregateProgram(program, std::move(loops));
         ipcs.push_back(pr.ipc);
         result.schedSeconds += pr.schedSeconds;
+        result.failedLoops += pr.failures.size();
         result.programs.push_back(std::move(pr));
     }
     result.meanIpc = averageIpc(ipcs);

@@ -14,6 +14,11 @@
  * one-job, cache-less engine. Aggregates are computed from results
  * in submission order, so every overload is bit-deterministic and
  * independent of the worker count.
+ *
+ * Per-loop failures are skipped and reported, never fatal: a loop
+ * the engine rejects (CompileError) is excluded from the aggregates,
+ * recorded in ProgramResult::failures, and warned about on stderr —
+ * the rest of the program and suite compiles normally.
  */
 
 #ifndef GPSCHED_CORE_PIPELINE_HH
@@ -26,6 +31,7 @@
 #include "core/gp_scheduler.hh"
 #include "graph/ddg.hh"
 #include "machine/machine.hh"
+#include "support/compile_error.hh"
 
 namespace gpsched
 {
@@ -43,7 +49,14 @@ struct Program
 struct ProgramResult
 {
     std::string name;
+
+    /** Successfully compiled loops, in submission order; loops that
+     *  failed are absent here and recorded in failures instead. */
     std::vector<CompiledLoop> loops;
+
+    /** Per-loop diagnostics of the loops that failed to compile
+     *  (excluded from every aggregate below). */
+    std::vector<CompileError> failures;
 
     /** Program operations executed over all loops. */
     std::int64_t totalOps = 0;
@@ -71,6 +84,10 @@ struct SuiteResult
 
     /** Total scheduling CPU time. */
     double schedSeconds = 0.0;
+
+    /** Loops that failed across the whole suite (the per-program
+     *  diagnostics live in ProgramResult::failures). */
+    std::uint64_t failedLoops = 0;
 };
 
 /** Compiles every loop of @p program serially (one-job engine). */

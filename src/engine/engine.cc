@@ -57,16 +57,30 @@ Engine::Engine(EngineOptions options)
     }
 }
 
-CompiledLoop
+CompileResult
 Engine::runJob(const EngineJob &job)
 {
     GPSCHED_ASSERT(job.loop != nullptr && job.machine != nullptr,
                    "engine job without loop or machine");
     jobsSubmitted_.fetch_add(1, std::memory_order_relaxed);
 
+    // Turns a caught CompileError into this job's diagnostic result,
+    // re-labelled with the requesting loop's name (the error may
+    // come from a structurally identical owner with another name).
+    auto failWith = [&](CompileError error) {
+        failed_.fetch_add(1, std::memory_order_relaxed);
+        error.setLoopName(job.loop->name());
+        return CompileResult::failure(std::move(error));
+    };
+
     if (!options_.cacheEnabled) {
-        LoopCompiler compiler(*job.machine, job.kind, job.options);
-        return compiler.compile(*job.loop);
+        try {
+            LoopCompiler compiler(*job.machine, job.kind,
+                                  job.options);
+            return CompileResult::success(compiler.compile(*job.loop));
+        } catch (const CompileError &error) {
+            return failWith(error);
+        }
     }
 
     LoopKey key =
@@ -77,7 +91,7 @@ Engine::runJob(const EngineJob &job)
         // Names are excluded from the fingerprint; report the
         // requesting loop's name, not the first-seen shape's.
         result.loopName = job.loop->name();
-        return result;
+        return CompileResult::success(std::move(result));
     }
 
     // Coalesce duplicates submitted concurrently: the first job for
@@ -93,7 +107,7 @@ Engine::runJob(const EngineJob &job)
         if (cache_.lookup(key, result)) {
             cacheHits_.fetch_add(1, std::memory_order_relaxed);
             result.loopName = job.loop->name();
-            return result;
+            return CompileResult::success(std::move(result));
         }
         auto it = inflight_.find(key.canonical);
         if (it != inflight_.end()) {
@@ -105,9 +119,16 @@ Engine::runJob(const EngineJob &job)
     }
     if (pending.valid()) {
         coalesced_.fetch_add(1, std::memory_order_relaxed);
-        result = pending.get();
+        // The shared future carries the owner's exception; a
+        // duplicate awaiting a failed owner observes the same
+        // CompileError instead of hanging or crashing.
+        try {
+            result = pending.get();
+        } catch (const CompileError &error) {
+            return failWith(error);
+        }
         result.loopName = job.loop->name();
-        return result;
+        return CompileResult::success(std::move(result));
     }
 
     // Publishes an owned result: into the in-memory cache first (so
@@ -128,7 +149,7 @@ Engine::runJob(const EngineJob &job)
     if (disk_ && disk_->lookup(key, result)) {
         publishAndRetire();
         result.loopName = job.loop->name();
-        return result;
+        return CompileResult::success(std::move(result));
     }
     cacheMisses_.fetch_add(1, std::memory_order_relaxed);
 
@@ -138,27 +159,38 @@ Engine::runJob(const EngineJob &job)
     } catch (...) {
         // Propagate the failure to coalesced waiters and retire the
         // in-flight entry, or this key would stay wedged forever.
+        // Nothing is published to either cache layer: errors are
+        // not negatively cached, so a retry of this key recompiles.
         promise.set_exception(std::current_exception());
-        std::lock_guard<std::mutex> lock(inflightMutex_);
-        inflight_.erase(key.canonical);
-        throw;
+        {
+            std::lock_guard<std::mutex> lock(inflightMutex_);
+            inflight_.erase(key.canonical);
+        }
+        try {
+            throw;
+        } catch (const CompileError &error) {
+            return failWith(error);
+        }
+        // Non-CompileError exceptions (gpsched bugs) keep
+        // propagating; the thread pool contains and rethrows them
+        // from wait().
     }
     if (disk_)
         disk_->store(key, result);
     publishAndRetire();
-    return result;
+    return CompileResult::success(std::move(result));
 }
 
-CompiledLoop
+CompileResult
 Engine::compileOne(const EngineJob &job)
 {
     return runJob(job);
 }
 
-std::vector<CompiledLoop>
+std::vector<CompileResult>
 Engine::compileBatch(const std::vector<EngineJob> &batch)
 {
-    std::vector<CompiledLoop> results(batch.size());
+    std::vector<CompileResult> results(batch.size());
     for (std::size_t i = 0; i < batch.size(); ++i) {
         pool_.submit([this, &batch, &results, i] {
             results[i] = runJob(batch[i]);
@@ -177,6 +209,7 @@ Engine::stats() const
     stats.cacheHits = cacheHits_.load(std::memory_order_relaxed);
     stats.cacheMisses = cacheMisses_.load(std::memory_order_relaxed);
     stats.coalesced = coalesced_.load(std::memory_order_relaxed);
+    stats.failed = failed_.load(std::memory_order_relaxed);
     if (disk_) {
         DiskCacheStats disk = disk_->stats();
         stats.diskHits = disk.hits;

@@ -15,6 +15,15 @@
  * compiled with 1 job and with N jobs produces bit-identical
  * schedules (the scheduling fields; schedSeconds is wall-clock
  * bookkeeping and naturally varies).
+ *
+ * Failures are per-loop, never per-batch: a job whose input is
+ * rejected (CompileError, support/compile_error.hh) yields a
+ * CompileResult carrying the diagnostic in its submission slot while
+ * every other job completes normally. Failed compiles are never
+ * published to the in-memory or persistent cache (errors are not
+ * negatively cached — a retry of the same key recompiles), and
+ * duplicates coalesced onto a failing owner observe the owner's
+ * error re-labelled with their own loop name.
  */
 
 #ifndef GPSCHED_ENGINE_ENGINE_HH
@@ -26,8 +35,10 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/gp_scheduler.hh"
@@ -36,6 +47,7 @@
 #include "engine/thread_pool.hh"
 #include "graph/ddg.hh"
 #include "machine/machine.hh"
+#include "support/compile_error.hh"
 
 namespace gpsched
 {
@@ -84,6 +96,37 @@ struct EngineJob
     LoopCompilerOptions options;
 };
 
+/**
+ * Per-job outcome: either a schedule or a diagnostic, never both.
+ * The batch analogue of "a result row": failures occupy their
+ * submission slot so downstream consumers can match results to jobs
+ * positionally.
+ */
+struct CompileResult
+{
+    /** The compiled schedule; meaningful iff ok(). */
+    CompiledLoop loop;
+
+    /** The per-loop diagnostic; set iff the compile failed. */
+    std::optional<CompileError> error;
+
+    bool ok() const { return !error.has_value(); }
+
+    static CompileResult success(CompiledLoop compiled)
+    {
+        CompileResult result;
+        result.loop = std::move(compiled);
+        return result;
+    }
+
+    static CompileResult failure(CompileError diagnostic)
+    {
+        CompileResult result;
+        result.error = std::move(diagnostic);
+        return result;
+    }
+};
+
 /** Aggregate engine counters. */
 struct EngineStats
 {
@@ -109,6 +152,12 @@ struct EngineStats
     /** Malformed/stale on-disk records evicted during lookups. */
     std::uint64_t corruptEvicted = 0;
 
+    /** Jobs that returned a diagnostic instead of a schedule
+     *  (counted per job: a coalesced duplicate observing its
+     *  owner's failure counts too). Failed compiles are never
+     *  cached, in memory or on disk. */
+    std::uint64_t failed = 0;
+
     /** cacheHits / jobsSubmitted; 0 before any job ran. */
     double hitRate() const;
 
@@ -127,13 +176,15 @@ class Engine
 
     /**
      * Compiles every job of @p batch concurrently and returns the
-     * results in submission order.
+     * per-job results in submission order. A failed job yields a
+     * diagnostic CompileResult in its slot; the batch always runs
+     * to completion.
      */
-    std::vector<CompiledLoop> compileBatch(
+    std::vector<CompileResult> compileBatch(
         const std::vector<EngineJob> &batch);
 
     /** Compiles one job on the calling thread (cache still used). */
-    CompiledLoop compileOne(const EngineJob &job);
+    CompileResult compileOne(const EngineJob &job);
 
     /** Effective worker count (>= 1). */
     int jobs() const { return jobs_; }
@@ -152,7 +203,7 @@ class Engine
     void clearCache() { cache_.clear(); }
 
   private:
-    CompiledLoop runJob(const EngineJob &job);
+    CompileResult runJob(const EngineJob &job);
 
     EngineOptions options_;
     int jobs_;
@@ -174,6 +225,7 @@ class Engine
     std::atomic<std::uint64_t> cacheHits_{0};
     std::atomic<std::uint64_t> cacheMisses_{0};
     std::atomic<std::uint64_t> coalesced_{0};
+    std::atomic<std::uint64_t> failed_{0};
 };
 
 } // namespace gpsched

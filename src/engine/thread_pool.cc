@@ -1,5 +1,7 @@
 #include "engine/thread_pool.hh"
 
+#include <utility>
+
 #include "support/logging.hh"
 
 namespace gpsched
@@ -20,6 +22,9 @@ ThreadPool::~ThreadPool()
         std::unique_lock<std::mutex> lock(mutex_);
         allDone_.wait(lock, [this] { return unfinished_ == 0; });
         stopping_ = true;
+        // A destructor cannot rethrow; a still-captured task
+        // exception is dropped here.
+        firstError_ = nullptr;
     }
     workReady_.notify_all();
     for (std::thread &worker : workers_)
@@ -27,10 +32,37 @@ ThreadPool::~ThreadPool()
 }
 
 void
+ThreadPool::runTask(std::function<void()> task)
+{
+    // The catch-all is the pool's fault barrier: a throwing task
+    // must neither std::terminate a worker nor skip the unfinished_
+    // decrement below (which would deadlock every later wait()).
+    try {
+        task();
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!firstError_)
+            firstError_ = std::current_exception();
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        --unfinished_;
+        if (unfinished_ == 0)
+            allDone_.notify_all();
+    }
+}
+
+void
 ThreadPool::submit(std::function<void()> task)
 {
     if (workers_.empty()) {
-        task();
+        // Inline mode counts the task like a worker would, so a
+        // throw mid-task still balances the books for wait().
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++unfinished_;
+        }
+        runTask(std::move(task));
         return;
     }
     {
@@ -45,10 +77,14 @@ ThreadPool::submit(std::function<void()> task)
 void
 ThreadPool::wait()
 {
-    if (workers_.empty())
-        return;
-    std::unique_lock<std::mutex> lock(mutex_);
-    allDone_.wait(lock, [this] { return unfinished_ == 0; });
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        allDone_.wait(lock, [this] { return unfinished_ == 0; });
+        error = std::exchange(firstError_, nullptr);
+    }
+    if (error)
+        std::rethrow_exception(error);
 }
 
 int
@@ -73,13 +109,7 @@ ThreadPool::workerLoop()
             task = std::move(queue_.front());
             queue_.pop_front();
         }
-        task();
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            --unfinished_;
-            if (unfinished_ == 0)
-                allDone_.notify_all();
-        }
+        runTask(std::move(task));
     }
 }
 

@@ -7,6 +7,16 @@
  * threads runs tasks inline on the submitting thread, so serial
  * paths (jobs=1) pay no thread or queue overhead and stay trivially
  * deterministic.
+ *
+ * Exception safety: a throwing task never terminates the process
+ * and never wedges the pool. In both threaded and inline modes the
+ * task runs under a catch-all, the task is always accounted finished
+ * (unfinished_ cannot leak, so a later wait() cannot deadlock), and
+ * the *first* captured exception is rethrown from the next wait();
+ * later ones are dropped. The destructor discards any captured
+ * exception (it cannot throw). The engine keeps per-loop failures
+ * out of this channel entirely (engine/engine.hh converts them to
+ * CompileResult diagnostics); only unexpected escapes reach it.
  */
 
 #ifndef GPSCHED_ENGINE_THREAD_POOL_HH
@@ -15,6 +25,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -42,7 +53,11 @@ class ThreadPool
     /** Enqueues @p task (or runs it inline for a 0-thread pool). */
     void submit(std::function<void()> task);
 
-    /** Blocks until every submitted task has completed. */
+    /**
+     * Blocks until every submitted task has completed, then rethrows
+     * the first exception any task threw since the last wait() (the
+     * pool itself stays usable for further batches).
+     */
     void wait();
 
     /** Worker count (0 for an inline pool). */
@@ -60,6 +75,9 @@ class ThreadPool
   private:
     void workerLoop();
 
+    /** Runs @p task under the catch-all and marks it finished. */
+    void runTask(std::function<void()> task);
+
     std::vector<std::thread> workers_;
     std::deque<std::function<void()>> queue_;
     mutable std::mutex mutex_;
@@ -67,6 +85,9 @@ class ThreadPool
     std::condition_variable allDone_;
     std::size_t unfinished_ = 0; ///< queued + currently running
     bool stopping_ = false;
+
+    /** First exception a task threw since the last wait(). */
+    std::exception_ptr firstError_;
 };
 
 } // namespace gpsched

@@ -3,6 +3,7 @@
 #include <sstream>
 #include <string>
 
+#include "support/compile_error.hh"
 #include "support/logging.hh"
 
 namespace gpsched
@@ -32,6 +33,14 @@ readDdgText(std::istream &is)
     bool headerSeen = false;
     Ddg ddg;
 
+    // Parse rejections are per-loop CompileErrors, carrying the
+    // block's name once the header has been seen so batch front-ends
+    // can attribute the diagnostic to the right loop and move on.
+    auto fail = [&](const std::string &message) {
+        GPSCHED_COMPILE_ERROR(CompileErrorKind::Parse,
+                              headerSeen ? ddg.name() : "", message);
+    };
+
     while (std::getline(is, line)) {
         // Strip comments.
         auto hash = line.find('#');
@@ -46,29 +55,45 @@ readDdgText(std::istream &is)
             std::string name;
             std::int64_t trips = 0;
             if (!(ls >> name >> trips) || trips < 1)
-                GPSCHED_FATAL("malformed ddg header: '", line, "'");
+                fail(buildMessage("malformed ddg header: '", line,
+                                  "'"));
             ddg = Ddg(name);
             ddg.setTripCount(trips);
             headerSeen = true;
         } else if (keyword == "node") {
             if (!headerSeen)
-                GPSCHED_FATAL("node before ddg header");
+                fail("node before ddg header");
             std::string mnemonic, label;
             if (!(ls >> mnemonic))
-                GPSCHED_FATAL("malformed node line: '", line, "'");
+                fail(buildMessage("malformed node line: '", line,
+                                  "'"));
             ls >> label; // optional
-            ddg.addNode(opcodeFromString(mnemonic), label);
+            Opcode opcode;
+            if (!opcodeFromString(mnemonic, opcode))
+                fail(buildMessage("unknown opcode mnemonic '",
+                                  mnemonic, "'"));
+            ddg.addNode(opcode, label);
         } else if (keyword == "edge") {
             if (!headerSeen)
-                GPSCHED_FATAL("edge before ddg header");
+                fail("edge before ddg header");
             int src, dst, lat, dist;
             if (!(ls >> src >> dst >> lat >> dist))
-                GPSCHED_FATAL("malformed edge line: '", line, "'");
+                fail(buildMessage("malformed edge line: '", line,
+                                  "'"));
+            // Validate here what Ddg::addEdge asserts: its asserts
+            // guard against gpsched bugs (panic), but this data is
+            // user input and must reject with a recoverable
+            // diagnostic instead.
             if (src < 0 || src >= ddg.numNodes() || dst < 0 ||
-                dst >= ddg.numNodes()) {
-                GPSCHED_FATAL("edge references unknown node: '", line,
-                              "'");
-            }
+                dst >= ddg.numNodes())
+                fail(buildMessage("edge references unknown node: '",
+                                  line, "'"));
+            if (lat < 0 || dist < 0)
+                fail(buildMessage(
+                    "negative edge latency/distance: '", line, "'"));
+            if (src == dst && dist < 1)
+                fail(buildMessage(
+                    "self edge must be loop-carried: '", line, "'"));
             std::string kindText = "flow";
             ls >> kindText; // optional, defaults to flow
             DepKind kind;
@@ -77,17 +102,24 @@ readDdgText(std::istream &is)
             else if (kindText == "order")
                 kind = DepKind::Order;
             else
-                GPSCHED_FATAL("unknown edge kind '", kindText, "'");
+                fail(buildMessage("unknown edge kind '", kindText,
+                                  "'"));
+            if (kind == DepKind::Flow &&
+                !definesValue(ddg.node(src).opcode))
+                fail(buildMessage("flow edge from non-defining op ",
+                                  toString(ddg.node(src).opcode),
+                                  ": '", line, "'"));
             ddg.addEdge(src, dst, lat, dist, kind);
         } else if (keyword == "end") {
             if (!headerSeen)
-                GPSCHED_FATAL("end before ddg header");
+                fail("end before ddg header");
             return ddg;
         } else {
-            GPSCHED_FATAL("unknown keyword '", keyword, "'");
+            fail(buildMessage("unknown keyword '", keyword, "'"));
         }
     }
-    GPSCHED_FATAL("unexpected end of input while reading ddg");
+    fail("unexpected end of input while reading ddg");
+    GPSCHED_PANIC("unreachable"); // fail() always throws
 }
 
 } // namespace gpsched

@@ -26,7 +26,12 @@ namespace gpsched
 /** Writes @p ddg in the text format. */
 void writeDdgText(std::ostream &os, const Ddg &ddg);
 
-/** Parses one DDG; fatal() on malformed input. */
+/**
+ * Parses one DDG. Malformed input throws CompileError (kind Parse,
+ * support/compile_error.hh) so a batch front-end can report the bad
+ * block and keep going; the loop name is attached once the `ddg`
+ * header line has been seen.
+ */
 Ddg readDdgText(std::istream &is);
 
 } // namespace gpsched

@@ -40,12 +40,23 @@ toString(Opcode op)
 Opcode
 opcodeFromString(const std::string &text)
 {
+    Opcode op;
+    if (!opcodeFromString(text, op))
+        GPSCHED_FATAL("unknown opcode mnemonic '", text, "'");
+    return op;
+}
+
+bool
+opcodeFromString(const std::string &text, Opcode &op)
+{
     for (int i = 0; i < numOpcodes; ++i) {
-        Opcode op = static_cast<Opcode>(i);
-        if (toString(op) == text)
-            return op;
+        Opcode candidate = static_cast<Opcode>(i);
+        if (toString(candidate) == text) {
+            op = candidate;
+            return true;
+        }
     }
-    GPSCHED_FATAL("unknown opcode mnemonic '", text, "'");
+    return false;
 }
 
 bool

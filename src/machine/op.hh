@@ -65,6 +65,10 @@ std::string toString(Opcode op);
 /** Parses a mnemonic produced by toString(); fatal on unknown text. */
 Opcode opcodeFromString(const std::string &text);
 
+/** Non-fatal parse: sets @p op and returns true iff @p text is a
+ *  known mnemonic (for user-input paths that reject recoverably). */
+bool opcodeFromString(const std::string &text, Opcode &op);
+
 /** True for opcodes that may appear in an input (workload) DDG. */
 bool isProgramOpcode(Opcode op);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "graph/ddg_analysis.hh"
+#include "support/compile_error.hh"
 #include "support/logging.hh"
 
 namespace gpsched
@@ -33,11 +34,9 @@ computeMii(const Ddg &ddg, const MachineConfig &machine)
     // the driver choke point, rather than emit a corrupt schedule.
     // (Machines with the default timing table can never trip this;
     // it exists for `.machine` files using the `latency` directive
-    // on prebuilt workloads.) Fatal rather than thrown: a mismatch
-    // is a user configuration error per the logging contract, and
-    // the batch engine's thread pool has no per-task exception
-    // channel — an exception escaping a worker would terminate with
-    // a worse message than this diagnostic.
+    // on prebuilt workloads.) Thrown, not fatal: the rejection is
+    // recoverable per loop — the engine turns it into a diagnostic
+    // CompileResult so one bad loop never kills a batch.
     const LatencyTable &lat = machine.latencies();
     for (EdgeId e = 0; e < ddg.numEdges(); ++e) {
         const DdgEdge &edge = ddg.edge(e);
@@ -45,7 +44,8 @@ computeMii(const Ddg &ddg, const MachineConfig &machine)
             continue;
         int producer = lat.latency(ddg.node(edge.src).opcode);
         if (edge.latency < producer) {
-            GPSCHED_FATAL(
+            GPSCHED_COMPILE_ERROR(
+                CompileErrorKind::InvalidInput, ddg.name(),
                 "loop '", ddg.name(), "': flow edge ", edge.src,
                 " -> ", edge.dst, " promises latency ", edge.latency,
                 " but machine '", machine.name(), "' needs ",

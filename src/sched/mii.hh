@@ -20,7 +20,14 @@ namespace gpsched
 /** Resource-limited minimum II over machine-wide resources. */
 int resMii(const Ddg &ddg, const MachineConfig &machine);
 
-/** max(resMii, recMii); the paper's MII input to partitioning. */
+/**
+ * max(resMii, recMii); the paper's MII input to partitioning.
+ *
+ * Throws CompileError (kind InvalidInput) when a flow edge of
+ * @p ddg promises less latency than @p machine's opcode table
+ * provides — such a loop cannot be scheduled consistently, and the
+ * rejection is recoverable per loop (see support/compile_error.hh).
+ */
 int computeMii(const Ddg &ddg, const MachineConfig &machine);
 
 } // namespace gpsched

@@ -1,0 +1,32 @@
+#include "support/compile_error.hh"
+
+namespace gpsched
+{
+
+const char *
+toString(CompileErrorKind kind)
+{
+    switch (kind) {
+      case CompileErrorKind::Parse:        return "parse";
+      case CompileErrorKind::InvalidInput: return "invalid-input";
+      case CompileErrorKind::Internal:     return "internal";
+    }
+    return "unknown";
+}
+
+CompileError::CompileError(CompileErrorKind kind, std::string loopName,
+                           const char *file, int line,
+                           const std::string &message)
+    : std::runtime_error(message), kind_(kind),
+      loopName_(std::move(loopName)),
+      location_(buildMessage(file, ":", line))
+{
+}
+
+std::string
+CompileError::diagnostic() const
+{
+    return buildMessage(what(), "\n  at ", location_);
+}
+
+} // namespace gpsched

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The per-loop failure channel of the compilation engine.
+ *
+ * The logging contract (support/logging.hh) distinguishes gpsched
+ * bugs (panic -> abort) from user errors (fatal -> exit). Batch
+ * compilation needs a third category: a *recoverable, per-loop*
+ * input rejection. One malformed loop in a million-loop batch must
+ * surface as a diagnostic row in the report, not kill the process —
+ * per-instance failure is a first-class outcome of combinatorial
+ * compilation, not an event.
+ *
+ * CompileError is that category: a typed exception carrying the
+ * error kind, the offending loop's name, and a gem5-style file:line
+ * diagnostic. Layers between the rejection point (e.g. the
+ * computeMii edge-latency guard) and the engine let it propagate;
+ * Engine::runJob converts it into a CompileResult diagnostic, so it
+ * never crosses a thread-pool boundary as an exception.
+ */
+
+#ifndef GPSCHED_SUPPORT_COMPILE_ERROR_HH
+#define GPSCHED_SUPPORT_COMPILE_ERROR_HH
+
+#include <stdexcept>
+#include <string>
+
+#include "support/logging.hh"
+
+namespace gpsched
+{
+
+/** What stage of loop compilation rejected the input. */
+enum class CompileErrorKind
+{
+    /** Text-format DDG failed to parse or validate. */
+    Parse,
+
+    /** A well-formed DDG was rejected by a semantic guard (e.g. a
+     *  flow edge promising less latency than the machine's opcode
+     *  table provides). */
+    InvalidInput,
+
+    /** An unexpected failure was contained at the per-loop boundary
+     *  instead of propagating (reserved for wrap-and-continue
+     *  paths; gpsched invariant violations still panic). */
+    Internal,
+};
+
+/** Stable lower-case tag ("parse", "invalid-input", "internal"). */
+const char *toString(CompileErrorKind kind);
+
+/** Recoverable per-loop compilation failure. */
+class CompileError : public std::runtime_error
+{
+  public:
+    /** @p message is the bare diagnostic text; @p file / @p line
+     *  locate the rejecting guard (pass __FILE__ / __LINE__, or use
+     *  GPSCHED_COMPILE_ERROR). */
+    CompileError(CompileErrorKind kind, std::string loopName,
+                 const char *file, int line, const std::string &message);
+
+    CompileErrorKind kind() const { return kind_; }
+
+    /** Name of the loop that failed; may be empty when the failure
+     *  struck before a name was known (e.g. a parse error in the
+     *  header line). */
+    const std::string &loopName() const { return loopName_; }
+
+    /** Re-labels the failure for a requester whose structurally
+     *  identical loop coalesced onto the failing owner's compile. */
+    void setLoopName(std::string name) { loopName_ = std::move(name); }
+
+    /** "path/to/file.cc:123" of the rejecting guard. */
+    const std::string &location() const { return location_; }
+
+    /** what() plus the "\n  at file:line" trailer, matching the
+     *  fatal() diagnostic shape front-ends print on exit. */
+    std::string diagnostic() const;
+
+  private:
+    CompileErrorKind kind_;
+    std::string loopName_;
+    std::string location_;
+};
+
+} // namespace gpsched
+
+/** Throws a CompileError located at the expansion site. */
+#define GPSCHED_COMPILE_ERROR(kind, loopName, ...)                         \
+    throw ::gpsched::CompileError(kind, loopName, __FILE__, __LINE__,      \
+                                  ::gpsched::buildMessage(__VA_ARGS__))
+
+#endif // GPSCHED_SUPPORT_COMPILE_ERROR_HH

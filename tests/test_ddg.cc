@@ -12,6 +12,7 @@
 #include "graph/ddg_builder.hh"
 #include "graph/dot.hh"
 #include "graph/textio.hh"
+#include "support/compile_error.hh"
 
 using namespace gpsched;
 
@@ -208,18 +209,68 @@ TEST(TextIo, CommentsAndBlankLinesIgnored)
     EXPECT_EQ(g.tripCount(), 5);
 }
 
-using TextIoDeathTest = ::testing::Test;
+// Malformed text input is user error, not a gpsched bug: the parser
+// must reject with a recoverable CompileError (kind Parse), never a
+// process-killing fatal/panic, so a batch driver can skip the block.
 
-TEST(TextIoDeathTest, MissingHeaderIsFatal)
+TEST(TextIoErrors, MissingHeaderThrowsParseError)
 {
     std::istringstream iss("node ialu x\nend\n");
-    EXPECT_DEATH(readDdgText(iss), "");
+    EXPECT_THROW(readDdgText(iss), CompileError);
 }
 
-TEST(TextIoDeathTest, TruncatedInputIsFatal)
+TEST(TextIoErrors, TruncatedInputThrowsParseError)
 {
     std::istringstream iss("ddg t 1\nnode ialu x\n");
-    EXPECT_DEATH(readDdgText(iss), "");
+    try {
+        readDdgText(iss);
+        FAIL() << "truncated input must throw";
+    } catch (const CompileError &error) {
+        EXPECT_EQ(error.kind(), CompileErrorKind::Parse);
+        // The block's name is attached once the header was seen.
+        EXPECT_EQ(error.loopName(), "t");
+        EXPECT_NE(error.location().find("textio.cc:"),
+                  std::string::npos);
+    }
+}
+
+TEST(TextIoErrors, EdgeToUnknownNodeThrowsNotPanics)
+{
+    // This exact shape used to trip Ddg::addEdge's panic; the parser
+    // now pre-validates and rejects recoverably.
+    std::istringstream iss("ddg t 1\n"
+                           "node ialu a\n"
+                           "node ialu b\n"
+                           "edge 0 7 1 0\n"
+                           "end\n");
+    try {
+        readDdgText(iss);
+        FAIL() << "dangling edge must throw";
+    } catch (const CompileError &error) {
+        EXPECT_EQ(error.kind(), CompileErrorKind::Parse);
+        EXPECT_NE(std::string(error.what()).find("unknown node"),
+                  std::string::npos);
+    }
+}
+
+TEST(TextIoErrors, BadOpcodeAndBadEdgeShapesThrow)
+{
+    const char *cases[] = {
+        "ddg t 0\nend\n",                           // bad trip count
+        "ddg t 1\nnode frobnicate x\nend\n",        // unknown opcode
+        "ddg t 1\nnode ialu a\nedge 0 0 1 0\nend\n",// self edge dist 0
+        "ddg t 1\nnode ialu a\nnode ialu b\n"
+        "edge 0 1 -1 0\nend\n",                     // negative latency
+        "ddg t 1\nnode store s\nnode ialu b\n"
+        "edge 0 1 1 0 flow\nend\n",                 // flow from store
+        "ddg t 1\nnode ialu a\nnode ialu b\n"
+        "edge 0 1 1 0 sideways\nend\n",             // unknown kind
+        "ddg t 1\nwibble\nend\n",                   // unknown keyword
+    };
+    for (const char *text : cases) {
+        std::istringstream iss(text);
+        EXPECT_THROW(readDdgText(iss), CompileError) << text;
+    }
 }
 
 TEST(Dot, PlainExportMentionsEveryNode)

@@ -173,7 +173,7 @@ TEST(DiskCache, WarmRerunHitsOverNinetyPercentBitIdentical)
         options.cacheDir = dir;
         Engine engine(options);
         std::vector<EngineJob> batch = suiteBatch(suite, m);
-        cold = engine.compileBatch(batch);
+        cold = unwrapAll(engine.compileBatch(batch));
         EngineStats stats = engine.stats();
         EXPECT_EQ(stats.diskHits, 0u);
         EXPECT_GT(stats.diskStores, 0u);
@@ -186,7 +186,8 @@ TEST(DiskCache, WarmRerunHitsOverNinetyPercentBitIdentical)
     options.cacheDir = dir;
     Engine engine(options);
     std::vector<EngineJob> batch = suiteBatch(suite, m);
-    std::vector<CompiledLoop> warm = engine.compileBatch(batch);
+    std::vector<CompiledLoop> warm =
+        unwrapAll(engine.compileBatch(batch));
 
     EngineStats stats = engine.stats();
     EXPECT_GE(stats.diskHitRate(), 0.9)
@@ -249,8 +250,8 @@ corruptionScenario(const std::string &tag,
     options.jobs = 1;
     options.cacheDir = dir;
     Engine engine(options);
-    CompiledLoop recompiled = engine.compileOne(
-        EngineJob{&g, &m, SchedulerKind::Gp, {}});
+    CompiledLoop recompiled = unwrapOne(engine.compileOne(
+        EngineJob{&g, &m, SchedulerKind::Gp, {}}));
 
     // The corrupted record was a miss (and was evicted), the loop
     // was recompiled, and the recompiled schedule is bit-identical
@@ -334,6 +335,72 @@ TEST(DiskCache, GarbageFileIsAMissAndEvicted)
     fs::remove_all(dir);
 }
 
+// --- fault injection at the cache boundary -------------------------
+
+/**
+ * A failed compile must be invisible to both cache tiers: no .gpc
+ * record on disk, no in-memory entry, stats().failed counts it, a
+ * rerun recompiles from scratch (no negative caching), and once the
+ * input is fixed the same engine compiles, succeeds, and stores the
+ * result exactly once.
+ */
+TEST(DiskCache, FailedCompileLeavesNoRecordAndRetryRecompiles)
+{
+    std::string dir = freshCacheDir("fault");
+    MachineConfig m = fourClusterConfig(32, 1);
+    // The flow edge promises latency 1; FMul takes 4 on this
+    // machine, so computeMii rejects the loop with a CompileError.
+    Ddg bad("wounded");
+    NodeId mul = bad.addNode(Opcode::FMul);
+    NodeId add = bad.addNode(Opcode::FAdd);
+    bad.addEdge(mul, add, 1, 0, DepKind::Flow);
+    bad.setTripCount(10);
+
+    EngineOptions options;
+    options.jobs = 2;
+    options.cacheDir = dir;
+    Engine engine(options);
+    EngineJob job{&bad, &m, SchedulerKind::Gp, {}};
+
+    CompileResult failed = engine.compileOne(job);
+    ASSERT_FALSE(failed.ok());
+    EXPECT_EQ(failed.error->kind(), CompileErrorKind::InvalidInput);
+    EXPECT_EQ(failed.error->loopName(), "wounded");
+
+    EngineStats stats = engine.stats();
+    EXPECT_EQ(stats.failed, 1u);
+    EXPECT_EQ(stats.diskStores, 0u);
+    EXPECT_TRUE(recordFiles(dir).empty())
+        << "a failed compile must never publish a record";
+
+    // Retry: a fresh miss on both tiers, recompiled, same failure.
+    CompileResult again = engine.compileOne(job);
+    ASSERT_FALSE(again.ok());
+    EngineStats retried = engine.stats();
+    EXPECT_EQ(retried.failed, 2u);
+    EXPECT_EQ(retried.cacheHits, 0u);
+    EXPECT_EQ(retried.diskHits, 0u);
+    EXPECT_EQ(retried.cacheMisses, 2u);
+
+    // Fix the input (honest latency): the compile now succeeds and
+    // publishes exactly one record through the same engine.
+    LatencyTable lat;
+    Ddg fixed("wounded");
+    NodeId fmul = fixed.addNode(Opcode::FMul);
+    NodeId fadd = fixed.addNode(Opcode::FAdd);
+    fixed.addEdge(fmul, fadd, lat.latency(Opcode::FMul), 0,
+                  DepKind::Flow);
+    fixed.setTripCount(10);
+    CompiledLoop ok = unwrapOne(engine.compileOne(
+        EngineJob{&fixed, &m, SchedulerKind::Gp, {}}));
+    EXPECT_GT(ok.ipc, 0.0);
+    EngineStats healed = engine.stats();
+    EXPECT_EQ(healed.failed, 2u);
+    EXPECT_EQ(healed.diskStores, 1u);
+    EXPECT_EQ(recordFiles(dir).size(), 1u);
+    fs::remove_all(dir);
+}
+
 // --- size budget ---------------------------------------------------
 
 TEST(DiskCache, CompactionEnforcesTheByteBudget)
@@ -387,7 +454,7 @@ TEST(DiskCache, ConcurrentEnginesSharingADirectoryStayExact)
     // Serial cache-less reference.
     Engine reference(serialEngineOptions());
     std::vector<CompiledLoop> expected =
-        reference.compileBatch(batch);
+        unwrapAll(reference.compileBatch(batch));
 
     EngineOptions options;
     options.jobs = 4;
@@ -398,9 +465,9 @@ TEST(DiskCache, ConcurrentEnginesSharingADirectoryStayExact)
     std::vector<CompiledLoop> resultsA;
     std::vector<CompiledLoop> resultsB;
     std::thread threadA(
-        [&] { resultsA = a.compileBatch(batch); });
+        [&] { resultsA = unwrapAll(a.compileBatch(batch)); });
     std::thread threadB(
-        [&] { resultsB = b.compileBatch(batch); });
+        [&] { resultsB = unwrapAll(b.compileBatch(batch)); });
     threadA.join();
     threadB.join();
 

@@ -12,6 +12,7 @@
 #include <limits>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 #include <thread>
 
 #include <gtest/gtest.h>
@@ -74,6 +75,77 @@ TEST(ThreadPool, DestructorDrainsOutstandingWork)
         // No wait(): the destructor must finish the queue.
     }
     EXPECT_EQ(counter.load(), 50);
+}
+
+// --- thread pool fault isolation -----------------------------------
+
+TEST(ThreadPool, WorkerExceptionIsContainedAndRethrownFromWait)
+{
+    ThreadPool pool(2);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 20; ++i) {
+        pool.submit([&counter, i] {
+            ++counter;
+            if (i == 7)
+                throw std::runtime_error("task 7 failed");
+        });
+    }
+    // Every task still runs — one throwing task must not kill the
+    // worker, wedge the queue, or reach std::terminate.
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    EXPECT_EQ(counter.load(), 20);
+
+    // The error is consumed, not sticky: the pool stays usable.
+    pool.submit([&counter] { ++counter; });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 21);
+}
+
+TEST(ThreadPool, InlinePoolDefersExceptionToWaitWithoutLeaking)
+{
+    ThreadPool pool(0);
+    std::atomic<int> counter{0};
+    // submit() itself must contain the throw (no leak out of the
+    // submitting call) and must leave the unfinished counter
+    // balanced so wait() cannot deadlock.
+    pool.submit([] { throw std::runtime_error("inline failure"); });
+    pool.submit([&counter] { ++counter; });
+    EXPECT_EQ(counter.load(), 1);
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    pool.wait(); // error consumed above; must return, not hang
+}
+
+TEST(ThreadPool, WaitRethrowsOnlyTheFirstErrorOfABatch)
+{
+    ThreadPool pool(4);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 16; ++i) {
+        pool.submit([&counter] {
+            ++counter;
+            throw std::runtime_error("every task fails");
+        });
+    }
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    EXPECT_EQ(counter.load(), 16);
+    pool.wait(); // later errors of the batch were dropped
+}
+
+TEST(ThreadPool, DestructorDiscardsAPendingException)
+{
+    std::atomic<int> counter{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 10; ++i) {
+            pool.submit([&counter, i] {
+                ++counter;
+                if (i % 3 == 0)
+                    throw std::runtime_error("boom");
+            });
+        }
+        // No wait(): the destructor must drain the queue and swallow
+        // the stored exception rather than terminate.
+    }
+    EXPECT_EQ(counter.load(), 10);
 }
 
 // --- loop fingerprint ----------------------------------------------
@@ -354,7 +426,8 @@ TEST(Engine, BatchPreservesSubmissionOrder)
         EngineJob{&diamond, &m, SchedulerKind::Gp, {}},
         EngineJob{&rec, &m, SchedulerKind::Gp, {}},
     };
-    std::vector<CompiledLoop> results = engine.compileBatch(batch);
+    std::vector<CompiledLoop> results =
+        gpsched::testing::unwrapAll(engine.compileBatch(batch));
     ASSERT_EQ(results.size(), 3u);
     EXPECT_EQ(results[0].loopName, chain.name());
     EXPECT_EQ(results[1].loopName, diamond.name());
@@ -374,10 +447,10 @@ TEST(Engine, CacheHitPatchesTheRequestedLoopName)
     }
 
     Engine engine;
-    CompiledLoop first =
-        engine.compileOne(EngineJob{&a, &m, SchedulerKind::Gp, {}});
-    CompiledLoop second =
-        engine.compileOne(EngineJob{&b, &m, SchedulerKind::Gp, {}});
+    CompiledLoop first = gpsched::testing::unwrapOne(
+        engine.compileOne(EngineJob{&a, &m, SchedulerKind::Gp, {}}));
+    CompiledLoop second = gpsched::testing::unwrapOne(
+        engine.compileOne(EngineJob{&b, &m, SchedulerKind::Gp, {}}));
     EXPECT_EQ(first.loopName, "alpha");
     EXPECT_EQ(second.loopName, "beta");
     EXPECT_EQ(second.ii, first.ii);
@@ -515,6 +588,113 @@ TEST(Engine, ParallelSpeedupOnMultiCore)
     ASSERT_GT(parallel, 0.0);
     EXPECT_GE(serial / parallel, 3.0)
         << "serial " << serial << "s, parallel " << parallel << "s";
+}
+
+// --- engine fault isolation ----------------------------------------
+
+namespace
+{
+
+/**
+ * A loop the engine must reject: its flow edge promises latency 1
+ * while FMul takes longer on every config used here, so computeMii
+ * throws CompileError(InvalidInput). Built with raw addNode/addEdge
+ * precisely because DdgBuilder would fill in the correct latency.
+ */
+Ddg
+latencyMismatchLoop(const std::string &name)
+{
+    Ddg ddg(name);
+    NodeId x = ddg.addNode(Opcode::FMul);
+    NodeId y = ddg.addNode(Opcode::FAdd);
+    ddg.addEdge(x, y, 1, 0, DepKind::Flow);
+    ddg.setTripCount(10);
+    return ddg;
+}
+
+} // namespace
+
+/**
+ * The coalescing error path, run under TSan in CI: structurally
+ * identical bad loops submitted concurrently share one in-flight
+ * compile; the owner's CompileError must reach every coalesced
+ * duplicate (patched to the duplicate's own loop name), the
+ * in-flight entry must be retired, and the failure must never be
+ * cached — a retry recompiles (no negative caching).
+ */
+TEST(Engine, CoalescedDuplicatesObserveTheOwnersError)
+{
+    LatencyTable lat;
+    MachineConfig m = fourClusterConfig(64, 1);
+    std::vector<Ddg> loops;
+    for (int i = 0; i < 16; ++i)
+        loops.push_back(
+            latencyMismatchLoop("bad" + std::to_string(i)));
+
+    EngineOptions options;
+    options.jobs = 8;
+    Engine engine(options);
+    std::vector<EngineJob> batch;
+    for (const Ddg &ddg : loops)
+        batch.push_back(EngineJob{&ddg, &m, SchedulerKind::Gp, {}});
+    std::vector<CompileResult> results = engine.compileBatch(batch);
+
+    ASSERT_EQ(results.size(), batch.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        ASSERT_FALSE(results[i].ok()) << "job " << i;
+        EXPECT_EQ(results[i].error->kind(),
+                  CompileErrorKind::InvalidInput);
+        EXPECT_EQ(results[i].error->loopName(), loops[i].name());
+        EXPECT_NE(std::string(results[i].error->what())
+                      .find("promises latency"),
+                  std::string::npos);
+    }
+
+    EngineStats stats = engine.stats();
+    EXPECT_EQ(stats.failed, batch.size());
+    EXPECT_EQ(stats.cacheHits, 0u);
+    EXPECT_EQ(stats.coalesced + stats.cacheMisses,
+              stats.jobsSubmitted);
+
+    // No negative caching: resubmitting misses and recompiles —
+    // never serves the failure (or a stale success) from cache.
+    std::vector<CompileResult> retry = engine.compileBatch(batch);
+    for (const CompileResult &result : retry)
+        EXPECT_FALSE(result.ok());
+    EngineStats after = engine.stats();
+    EXPECT_EQ(after.cacheHits, 0u);
+    EXPECT_GT(after.cacheMisses, stats.cacheMisses);
+    EXPECT_EQ(after.failed, 2 * batch.size());
+}
+
+/** One bad loop must not poison the rest of a mixed batch. */
+TEST(Engine, MixedBatchIsolatesTheFailure)
+{
+    LatencyTable lat;
+    MachineConfig m = fourClusterConfig(64, 1);
+    Ddg good = gpsched::testing::diamondLoop(lat);
+    Ddg bad = latencyMismatchLoop("bad");
+    Ddg alsoGood = gpsched::testing::chainLoop(6, lat);
+
+    EngineOptions options;
+    options.jobs = 4;
+    Engine engine(options);
+    std::vector<EngineJob> batch = {
+        EngineJob{&good, &m, SchedulerKind::Gp, {}},
+        EngineJob{&bad, &m, SchedulerKind::Gp, {}},
+        EngineJob{&alsoGood, &m, SchedulerKind::Gp, {}},
+    };
+    std::vector<CompileResult> results = engine.compileBatch(batch);
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_TRUE(results[0].ok());
+    ASSERT_FALSE(results[1].ok());
+    EXPECT_EQ(results[1].error->loopName(), "bad");
+    EXPECT_TRUE(results[2].ok());
+    EXPECT_EQ(engine.stats().failed, 1u);
+
+    // Diagnostics carry a file:line location for triage.
+    EXPECT_NE(results[1].error->location().find(".cc:"),
+              std::string::npos);
 }
 
 /** Concurrent RunningStat accumulation stays exact. */

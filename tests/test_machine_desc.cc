@@ -379,7 +379,8 @@ TEST(HeterogeneousMachine, EngineCompilesHeteroBatch)
         EngineJob{&diamond, &hetero, SchedulerKind::Gp, {}},
         EngineJob{&chain, &hetero, SchedulerKind::Gp, {}},
     };
-    auto results = engine.compileBatch(batch);
+    std::vector<CompiledLoop> results =
+        unwrapAll(engine.compileBatch(batch));
     ASSERT_EQ(results.size(), 2u);
     for (const CompiledLoop &loop : results)
         EXPECT_GT(loop.ipc, 0.0);
@@ -448,7 +449,8 @@ TEST(EngineCoalescing, ManyDuplicateJobsCompileOncePerUniqueKey)
         batch.push_back(EngineJob{&diamond, &m, SchedulerKind::Gp, {}});
         batch.push_back(EngineJob{&chain, &m, SchedulerKind::Gp, {}});
     }
-    std::vector<CompiledLoop> results = engine.compileBatch(batch);
+    std::vector<CompiledLoop> results =
+        unwrapAll(engine.compileBatch(batch));
     ASSERT_EQ(results.size(), batch.size());
 
     EngineStats stats = engine.stats();

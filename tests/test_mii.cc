@@ -4,11 +4,14 @@
  * resources and MII = max(ResMII, RecMII).
  */
 
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "graph/ddg_builder.hh"
 #include "machine/configs.hh"
 #include "sched/mii.hh"
+#include "support/compile_error.hh"
 #include "testing/fixtures.hh"
 
 using namespace gpsched;
@@ -69,6 +72,39 @@ TEST(Mii, AtLeastOne)
     LatencyTable lat;
     Ddg g = parallelLoop(1, lat);
     EXPECT_GE(computeMii(g, unifiedConfig(32)), 1);
+}
+
+/**
+ * The edge-latency consistency guard: a DDG whose flow edge promises
+ * less latency than the machine's producer op takes must be rejected
+ * with a recoverable CompileError (kind InvalidInput) — it used to
+ * be a process-killing fatal, which let one bad loop sink a batch.
+ */
+TEST(Mii, EdgeLatencyBelowMachineLatencyThrowsCompileError)
+{
+    Ddg bad("stale_latency");
+    NodeId mul = bad.addNode(Opcode::FMul);
+    NodeId add = bad.addNode(Opcode::FAdd);
+    bad.addEdge(mul, add, 1, 0, DepKind::Flow); // FMul needs 4
+    bad.setTripCount(10);
+
+    MachineConfig m = unifiedConfig(32);
+    try {
+        computeMii(bad, m);
+        FAIL() << "latency mismatch must throw";
+    } catch (const CompileError &error) {
+        EXPECT_EQ(error.kind(), CompileErrorKind::InvalidInput);
+        EXPECT_EQ(error.loopName(), "stale_latency");
+        std::string message = error.what();
+        // The diagnostic text is load-bearing: it names the edge,
+        // both latencies, and the machine (same wording the fatal
+        // had), and carries a file:line location.
+        EXPECT_NE(message.find("promises latency"),
+                  std::string::npos);
+        EXPECT_NE(message.find(m.name()), std::string::npos);
+        EXPECT_NE(error.location().find("mii.cc:"),
+                  std::string::npos);
+    }
 }
 
 TEST(Mii, MachineWideNotPerCluster)

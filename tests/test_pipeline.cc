@@ -98,6 +98,51 @@ TEST(Pipeline, UnifiedUpperBoundsClusteredPerProgram)
     }
 }
 
+/**
+ * Skip-and-report: a program containing a loop the engine rejects
+ * still aggregates — the bad loop lands in ProgramResult::failures
+ * (with its diagnostic), the good loops are compiled normally, and
+ * the suite tallies failedLoops.
+ */
+TEST(Pipeline, BadLoopIsSkippedAndReported)
+{
+    LatencyTable lat;
+    Program prog = smallProgram(lat);
+    // Sabotage one loop: flow edge promising latency 1 where the
+    // machine needs FMul's 4.
+    Ddg bad("sabotaged");
+    NodeId mul = bad.addNode(Opcode::FMul);
+    NodeId add = bad.addNode(Opcode::FAdd);
+    bad.addEdge(mul, add, 1, 0, DepKind::Flow);
+    bad.setTripCount(10);
+    prog.loops.insert(prog.loops.begin() + 1, bad);
+
+    MachineConfig m = twoClusterConfig(32, 1);
+    ProgramResult r = compileProgram(prog, m, SchedulerKind::Gp);
+
+    EXPECT_EQ(r.loops.size(), prog.loops.size() - 1);
+    ASSERT_EQ(r.failures.size(), 1u);
+    EXPECT_EQ(r.failures[0].loopName(), "sabotaged");
+    EXPECT_EQ(r.failures[0].kind(), CompileErrorKind::InvalidInput);
+
+    // The surviving loops match a clean compile of the same program
+    // without the saboteur.
+    Program clean = smallProgram(lat);
+    ProgramResult reference =
+        compileProgram(clean, m, SchedulerKind::Gp);
+    EXPECT_EQ(r.totalOps, reference.totalOps);
+    EXPECT_EQ(r.totalCycles, reference.totalCycles);
+    EXPECT_DOUBLE_EQ(r.ipc, reference.ipc);
+
+    // Suite-level accounting.
+    SuiteResult suite =
+        compileSuite({prog, clean}, m, SchedulerKind::Gp);
+    EXPECT_EQ(suite.failedLoops, 1u);
+    ASSERT_EQ(suite.programs.size(), 2u);
+    EXPECT_EQ(suite.programs[0].failures.size(), 1u);
+    EXPECT_TRUE(suite.programs[1].failures.empty());
+}
+
 TEST(Pipeline, EmptyProgram)
 {
     Program prog;

@@ -1,11 +1,41 @@
 #include "testing/fixtures.hh"
 
+#include <utility>
+
+#include <gtest/gtest.h>
+
 #include "graph/ddg_analysis.hh"
 #include "graph/ddg_builder.hh"
 #include "sched/mii.hh"
 
 namespace gpsched::testing
 {
+
+std::vector<CompiledLoop>
+unwrapAll(std::vector<CompileResult> results)
+{
+    std::vector<CompiledLoop> loops;
+    loops.reserve(results.size());
+    for (CompileResult &result : results) {
+        if (!result.ok()) {
+            ADD_FAILURE() << "unexpected compile failure for loop '"
+                          << result.error->loopName()
+                          << "': " << result.error->diagnostic();
+            continue;
+        }
+        loops.push_back(std::move(result.loop));
+    }
+    return loops;
+}
+
+CompiledLoop
+unwrapOne(CompileResult result)
+{
+    EXPECT_TRUE(result.ok())
+        << (result.ok() ? std::string()
+                        : result.error->diagnostic());
+    return std::move(result.loop);
+}
 
 Ddg
 chainLoop(int n, const LatencyTable &lat)

@@ -7,7 +7,9 @@
 #define GPSCHED_TESTS_TESTING_FIXTURES_HH
 
 #include <optional>
+#include <vector>
 
+#include "engine/engine.hh"
 #include "graph/ddg.hh"
 #include "machine/machine.hh"
 #include "partition/partition.hh"
@@ -16,6 +18,17 @@
 
 namespace gpsched::testing
 {
+
+/**
+ * Unwraps engine results where a test expects every compile to have
+ * succeeded. Asserts (via GoogleTest ADD_FAILURE in the .cc) on any
+ * per-loop failure and returns the successful payloads in order.
+ */
+std::vector<CompiledLoop>
+unwrapAll(std::vector<CompileResult> results);
+
+/** Unwraps one result, asserting it succeeded. */
+CompiledLoop unwrapOne(CompileResult result);
 
 /** Linear chain of @p n IAlu ops (acyclic). */
 Ddg chainLoop(int n, const LatencyTable &lat);

@@ -22,13 +22,21 @@
  *     --repeat N        compile the batch N times (cache demo)
  *     --cache-dir PATH  persistent compile cache directory; results
  *                       are reused across runs (default: disabled)
+ *     --keep-going      per-loop fault isolation: a malformed or
+ *                       rejected loop becomes an error object in the
+ *                       report instead of aborting the run; exit
+ *                       status is nonzero iff any loop failed
  *     --json PATH       report path; '-' = stdout (default '-')
+ *
+ * Without --keep-going the first failing loop ends the run with a
+ * fatal file:line diagnostic (the historical behavior).
  */
 
 #include <cerrno>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -38,6 +46,7 @@
 #include "graph/textio.hh"
 #include "machine/configs.hh"
 #include "machine/registry.hh"
+#include "support/compile_error.hh"
 #include "support/json.hh"
 #include "support/logging.hh"
 
@@ -57,6 +66,7 @@ struct CliOptions
     int jobs = 0;
     int repeat = 1;
     std::string cacheDir;
+    bool keepGoing = false;
     std::string jsonPath = "-";
     std::vector<std::string> files;
 };
@@ -79,6 +89,9 @@ usage(const char *argv0, int status)
        << "  --repeat N       compile the batch N times (default 1)\n"
        << "  --cache-dir PATH persistent compile cache directory\n"
        << "                   (reused across runs; default off)\n"
+       << "  --keep-going     report per-loop failures as JSON error\n"
+       << "                   objects instead of aborting; exit 1\n"
+       << "                   iff any loop failed\n"
        << "  --json PATH      JSON report path, '-' = stdout\n";
     std::exit(status);
 }
@@ -143,6 +156,8 @@ parseArgs(int argc, char **argv)
             options.repeat = countValue(i);
         else if (arg == "--cache-dir")
             options.cacheDir = needValue(i);
+        else if (arg == "--keep-going")
+            options.keepGoing = true;
         else if (arg == "--json")
             options.jsonPath = needValue(i);
         else if (arg == "--help" || arg == "-h")
@@ -202,16 +217,48 @@ schemesFor(const CliOptions &options)
                   "' (uracam|fixed|gp|all)");
 }
 
-/** One input loop and where it came from. */
+/** One input block and where it came from; either a parsed DDG or a
+ *  parse diagnostic (--keep-going records the latter and goes on). */
 struct InputLoop
 {
     std::string file;
     Ddg ddg;
+    std::optional<CompileError> parseError;
+
+    bool parsed() const { return !parseError.has_value(); }
 };
 
-/** Reads every `ddg ... end` block of every input file. */
+/**
+ * Skips forward to the next top-level `ddg` line so one malformed
+ * block cannot swallow the rest of its file in --keep-going mode.
+ */
+void
+resyncToNextBlock(std::ifstream &in)
+{
+    std::string line;
+    std::streampos before = in.tellg();
+    while (std::getline(in, line)) {
+        auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream ls(line);
+        std::string keyword;
+        if ((ls >> keyword) && keyword == "ddg") {
+            in.seekg(before);
+            return;
+        }
+        before = in.tellg();
+    }
+}
+
+/**
+ * Reads every `ddg ... end` block of every input file. A block that
+ * fails to parse throws its CompileError unless @p keepGoing, in
+ * which case it is recorded as a failed InputLoop and parsing
+ * resumes at the next block.
+ */
 std::vector<InputLoop>
-readInputs(const std::vector<std::string> &files)
+readInputs(const std::vector<std::string> &files, bool keepGoing)
 {
     std::vector<InputLoop> loops;
     for (const std::string &path : files) {
@@ -238,7 +285,23 @@ readInputs(const std::vector<std::string> &files)
             if (!content)
                 break;
             in.seekg(before);
-            loops.push_back(InputLoop{path, readDdgText(in)});
+            try {
+                InputLoop input;
+                input.file = path;
+                input.ddg = readDdgText(in);
+                loops.push_back(std::move(input));
+            } catch (const CompileError &error) {
+                if (!keepGoing)
+                    throw;
+                GPSCHED_WARN("skipping malformed DDG block in '",
+                             path, "': ", error.what());
+                InputLoop bad;
+                bad.file = path;
+                bad.parseError = error;
+                loops.push_back(std::move(bad));
+                in.clear();
+                resyncToNextBlock(in);
+            }
         }
         if (loops.empty() || loops.back().file != path)
             GPSCHED_FATAL("no DDGs found in '", path, "'");
@@ -246,12 +309,23 @@ readInputs(const std::vector<std::string> &files)
     return loops;
 }
 
+/** The report's error-object schema: kind, message, location. */
+void
+writeErrorObject(JsonWriter &json, const CompileError &error)
+{
+    json.beginObject("error");
+    json.member("kind", toString(error.kind()));
+    json.member("message", error.what());
+    json.member("location", error.location());
+    json.endObject();
+}
+
 void
 writeReport(std::ostream &os, const CliOptions &options,
             const MachineConfig &machine,
             const std::vector<SchedulerKind> &schemes,
             const std::vector<InputLoop> &inputs,
-            const std::vector<CompiledLoop> &results,
+            const std::vector<CompileResult> &results,
             const Engine &engine)
 {
     EngineStats stats = engine.stats();
@@ -290,17 +364,34 @@ writeReport(std::ostream &os, const CliOptions &options,
     json.endArray();
     json.endObject();
     json.beginArray("loops");
-    std::size_t i = 0;
+    // Engine results cover the parsed inputs only, scheme-major in
+    // the same order the batch was built.
+    std::size_t next = 0;
     for (const SchedulerKind kind : schemes) {
         for (const InputLoop &input : inputs) {
-            const CompiledLoop &loop = results[i++];
             json.beginObject();
             json.member("file", input.file);
-            json.member("name", loop.loopName);
+            if (!input.parsed()) {
+                json.member("name", input.parseError->loopName());
+                json.member("scheme", toString(kind));
+                writeErrorObject(json, *input.parseError);
+                json.endObject();
+                continue;
+            }
+            const CompileResult &result = results[next++];
+            json.member("name", result.ok()
+                                    ? result.loop.loopName
+                                    : result.error->loopName());
             json.member("scheme", toString(kind));
             json.member("nodes", input.ddg.numNodes());
             json.member("edges", input.ddg.numEdges());
             json.member("tripCount", input.ddg.tripCount());
+            if (!result.ok()) {
+                writeErrorObject(json, *result.error);
+                json.endObject();
+                continue;
+            }
+            const CompiledLoop &loop = result.loop;
             json.member("moduloScheduled", loop.moduloScheduled);
             json.member("mii", loop.mii);
             json.member("ii", loop.ii);
@@ -321,10 +412,12 @@ writeReport(std::ostream &os, const CliOptions &options,
     json.beginObject("engine");
     json.member("jobs", engine.jobs());
     json.member("repeat", options.repeat);
+    json.member("keepGoing", options.keepGoing);
     json.member("jobsSubmitted", stats.jobsSubmitted);
     json.member("cacheHits", stats.cacheHits);
     json.member("cacheMisses", stats.cacheMisses);
     json.member("coalesced", stats.coalesced);
+    json.member("failed", stats.failed);
     json.member("hitRate", stats.hitRate());
     json.member("cacheDir", options.cacheDir);
     json.member("diskHits", stats.diskHits);
@@ -336,15 +429,14 @@ writeReport(std::ostream &os, const CliOptions &options,
     json.endObject();
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     CliOptions options = parseArgs(argc, argv);
     MachineConfig machine = machineFor(options);
     std::vector<SchedulerKind> schemes = schemesFor(options);
-    std::vector<InputLoop> inputs = readInputs(options.files);
+    std::vector<InputLoop> inputs =
+        readInputs(options.files, options.keepGoing);
 
     EngineOptions engineOptions;
     engineOptions.jobs = options.jobs;
@@ -355,6 +447,8 @@ main(int argc, char **argv)
     batch.reserve(schemes.size() * inputs.size());
     for (const SchedulerKind kind : schemes) {
         for (const InputLoop &input : inputs) {
+            if (!input.parsed())
+                continue;
             EngineJob job;
             job.loop = &input.ddg;
             job.machine = &machine;
@@ -363,9 +457,22 @@ main(int argc, char **argv)
         }
     }
 
-    std::vector<CompiledLoop> results;
+    std::vector<CompileResult> results;
     for (int r = 0; r < options.repeat; ++r)
         results = engine.compileBatch(batch);
+
+    bool anyFailed = false;
+    for (const InputLoop &input : inputs)
+        anyFailed |= !input.parsed();
+    for (const CompileResult &result : results) {
+        if (!result.ok()) {
+            anyFailed = true;
+            // Without --keep-going the first compile failure ends
+            // the run exactly like the historical fatal did.
+            if (!options.keepGoing)
+                throw *result.error;
+        }
+    }
 
     if (options.jsonPath == "-") {
         writeReport(std::cout, options, machine, schemes, inputs,
@@ -378,5 +485,21 @@ main(int argc, char **argv)
         writeReport(out, options, machine, schemes, inputs, results,
                     engine);
     }
-    return 0;
+    return anyFailed ? 1 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Per-loop failures that escape this far (a parse error without
+    // --keep-going, or a compile rejection of a non-keep-going run)
+    // end the process with the same diagnostic shape fatal() prints.
+    try {
+        return run(argc, argv);
+    } catch (const CompileError &error) {
+        std::cerr << "fatal: " << error.diagnostic() << "\n";
+        return 1;
+    }
 }
