@@ -24,6 +24,10 @@ BenchOptions::engineOptions() const
     EngineOptions options;
     options.jobs = jobs;
     options.cacheDir = cacheDir;
+    // Every bench report carries a phase-breakdown block, giving the
+    // nightly trajectory per-phase resolution. Observation-only:
+    // schedules are unaffected (pinned by test_telemetry).
+    options.collectPhases = true;
     return options;
 }
 
@@ -188,6 +192,11 @@ writeEngineStatsJson(JsonWriter &json, const Engine &engine)
     json.member("diskStores", stats.diskStores);
     json.member("corruptEvicted", stats.corruptEvicted);
     json.member("diskHitRate", stats.diskHitRate());
+    // Additive phase breakdown (empty when the engine did not
+    // collect phases, e.g. pre-telemetry consumers' replays).
+    CompileTrace phases = engine.phaseTotals();
+    if (!phases.empty())
+        writeCompileTracePhases(json, "phases", phases);
     json.endObject();
 }
 

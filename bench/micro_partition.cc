@@ -19,6 +19,7 @@
 #include "sched/mii.hh"
 #include "sched/uracam.hh"
 #include "support/random.hh"
+#include "support/telemetry.hh"
 #include "workload/loop_shapes.hh"
 
 using namespace gpsched;
@@ -97,6 +98,34 @@ BM_FullPartition(benchmark::State &state)
     }
 }
 BENCHMARK(BM_FullPartition)->Arg(4)->Arg(8)->Arg(16);
+
+/**
+ * BM_FullPartition with phase collection active: an ambient
+ * CompileTrace makes every GPSCHED_PHASE_SPAN take its clock reads.
+ * Compare against BM_FullPartition (idle spans: one TLS load and a
+ * branch each) to see the telemetry overhead contract — the idle
+ * delta vs. pre-telemetry builds must stay under 1%.
+ */
+static void
+BM_FullPartitionPhaseSpans(benchmark::State &state)
+{
+    Ddg g = loopOfSize(static_cast<int>(state.range(0)));
+    MachineConfig m = fourClusterConfig(32, 1);
+    int mii = computeMii(g, m);
+    GpPartitioner part(m);
+    CompileTrace phases;
+    TelemetryContext ctx;
+    ctx.trace = &phases;
+    ScopedTelemetryContext scoped(ctx);
+    for (auto _ : state) {
+        GpPartitionResult r = part.run(g, mii);
+        benchmark::DoNotOptimize(r.iiBus);
+    }
+    state.SetLabel(std::to_string(phases.phase(CompilePhase::Coarsen)
+                                      .count) +
+                   " coarsen spans");
+}
+BENCHMARK(BM_FullPartitionPhaseSpans)->Arg(4)->Arg(8)->Arg(16);
 
 static void
 BM_ModuloScheduleGp(benchmark::State &state)

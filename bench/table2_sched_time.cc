@@ -16,6 +16,7 @@
 #include "support/json.hh"
 #include "support/logging.hh"
 #include "support/table.hh"
+#include "support/telemetry.hh"
 #include "support/timer.hh"
 #include "workload/specfp.hh"
 
@@ -29,11 +30,20 @@ namespace
  * CPU seconds for one full-suite compilation, measured around the
  * whole run: per-loop timer reads quantize to scheduler ticks on
  * some kernels, so summing them would be mostly noise.
+ *
+ * Phase spans are collected via the ambient telemetry context: the
+ * serial pipeline compiles inline on this thread, so installing a
+ * trace here attributes every GPSCHED_PHASE_SPAN of the run into
+ * @p phases (summed over all reps).
  */
 double
 averageSeconds(const std::vector<Program> &suite,
-               const MachineConfig &m, SchedulerKind kind, int reps)
+               const MachineConfig &m, SchedulerKind kind, int reps,
+               CompileTrace &phases)
 {
+    TelemetryContext ctx;
+    ctx.trace = &phases;
+    ScopedTelemetryContext scoped(ctx);
     CpuTimer timer;
     timer.start();
     for (int r = 0; r < reps; ++r) {
@@ -50,6 +60,9 @@ struct MeasuredCase
     double uracamSeconds = 0.0;
     double fixedSeconds = 0.0;
     double gpSeconds = 0.0;
+    CompileTrace uracamPhases;
+    CompileTrace fixedPhases;
+    CompileTrace gpPhases;
 };
 
 void
@@ -72,6 +85,12 @@ writeJson(std::ostream &os, const std::vector<MeasuredCase> &rows,
                                         ? row.uracamSeconds /
                                               row.gpSeconds
                                         : 0.0);
+        // Per-scheme phase breakdowns (summed over all reps), the
+        // per-phase resolution behind the whole-suite seconds above.
+        writeCompileTracePhases(json, "uracamPhases",
+                                row.uracamPhases);
+        writeCompileTracePhases(json, "fixedPhases", row.fixedPhases);
+        writeCompileTracePhases(json, "gpPhases", row.gpPhases);
         json.endObject();
     }
     json.endArray();
@@ -103,11 +122,13 @@ main(int argc, char **argv)
         MeasuredCase row;
         row.name = m.name();
         row.uracamSeconds =
-            averageSeconds(suite, m, SchedulerKind::Uracam, reps);
+            averageSeconds(suite, m, SchedulerKind::Uracam, reps,
+                           row.uracamPhases);
         row.fixedSeconds = averageSeconds(
-            suite, m, SchedulerKind::FixedPartition, reps);
-        row.gpSeconds =
-            averageSeconds(suite, m, SchedulerKind::Gp, reps);
+            suite, m, SchedulerKind::FixedPartition, reps,
+            row.fixedPhases);
+        row.gpSeconds = averageSeconds(suite, m, SchedulerKind::Gp,
+                                       reps, row.gpPhases);
         table.addRow({row.name, TextTable::num(row.uracamSeconds, 3),
                       TextTable::num(row.fixedSeconds, 3),
                       TextTable::num(row.gpSeconds, 3),

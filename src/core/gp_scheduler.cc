@@ -7,6 +7,7 @@
 #include "sched/list_sched.hh"
 #include "sched/mii.hh"
 #include "support/logging.hh"
+#include "support/telemetry.hh"
 #include "support/timer.hh"
 
 namespace gpsched
@@ -89,17 +90,22 @@ LoopCompiler::compile(const Ddg &ddg) const
     CpuTimer timer;
     timer.start();
 
-    const int mii = computeMii(ddg, machine_);
-    out.mii = mii;
+    int mii = 0;
+    int max_ii = 0;
+    {
+        GPSCHED_PHASE_SPAN(Mii);
+        mii = computeMii(ddg, machine_);
+        out.mii = mii;
 
-    // List-scheduling bound: once II reaches the flat schedule
-    // length, the kernel no longer overlaps iterations.
-    DdgAnalysis base(ddg, machine_.latencies(), mii);
-    GPSCHED_ASSERT(base.feasible(), "MII analysis infeasible");
-    const int max_ii =
-        std::min(options_.maxIiHardCap,
-                 std::max(mii, base.scheduleLength() +
-                                   options_.maxIiSlack));
+        // List-scheduling bound: once II reaches the flat schedule
+        // length, the kernel no longer overlaps iterations.
+        DdgAnalysis base(ddg, machine_.latencies(), mii);
+        GPSCHED_ASSERT(base.feasible(), "MII analysis infeasible");
+        max_ii =
+            std::min(options_.maxIiHardCap,
+                     std::max(mii, base.scheduleLength() +
+                                       options_.maxIiSlack));
+    }
 
     const bool partitioned = kind_ != SchedulerKind::Uracam &&
                              machine_.numClusters() > 1;
@@ -136,7 +142,13 @@ LoopCompiler::compile(const Ddg &ddg) const
             partitioned ? &part.partition : nullptr;
         ClusterPolicy attempt_policy =
             partitioned ? policy : ClusterPolicy::FreeChoice;
-        if (scheduler.schedule(ps, attempt_policy, assignment)) {
+        bool scheduled = false;
+        {
+            GPSCHED_PHASE_SPAN(ModuloSchedule);
+            scheduled =
+                scheduler.schedule(ps, attempt_policy, assignment);
+        }
+        if (scheduled) {
             out.moduloScheduled = true;
             out.ii = ii;
             out.scheduleLength = ps.scheduleLength();
@@ -180,6 +192,7 @@ LoopCompiler::compile(const Ddg &ddg) const
     }
 
     // Modulo scheduling is no longer profitable: list schedule.
+    GPSCHED_PHASE_SPAN(ListSchedule);
     ListScheduleResult ls = listSchedule(ddg, machine_);
     out.moduloScheduled = false;
     out.ii = 0;

@@ -31,6 +31,7 @@ aggregateProgram(const Program &program,
             result.failures.push_back(std::move(*item.error));
             continue;
         }
+        result.phases.merge(item.trace);
         CompiledLoop &compiled = item.loop;
         result.totalOps += compiled.ops;
         result.totalCycles += compiled.cycles;
@@ -100,6 +101,7 @@ compileSuite(Engine &engine, const std::vector<Program> &suite,
         ipcs.push_back(pr.ipc);
         result.schedSeconds += pr.schedSeconds;
         result.failedLoops += pr.failures.size();
+        result.phases.merge(pr.phases);
         result.programs.push_back(std::move(pr));
     }
     result.meanIpc = averageIpc(ipcs);

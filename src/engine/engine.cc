@@ -1,9 +1,26 @@
 #include "engine/engine.hh"
 
 #include "support/logging.hh"
+#include "support/timer.hh"
 
 namespace gpsched
 {
+
+const char *
+compileSourceName(CompileSource source)
+{
+    switch (source) {
+      case CompileSource::Compiled:
+        return "compiled";
+      case CompileSource::Memory:
+        return "memory";
+      case CompileSource::Disk:
+        return "disk";
+      case CompileSource::Coalesced:
+        return "coalesced";
+    }
+    GPSCHED_PANIC("invalid CompileSource ", static_cast<int>(source));
+}
 
 EngineOptions
 serialEngineOptions()
@@ -43,26 +60,130 @@ effectiveJobs(int requested)
                           : requested;
 }
 
+std::uint32_t
+nextEnginePid()
+{
+    // One trace pid per engine instance, process-wide.
+    static std::atomic<std::uint32_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+}
+
 } // namespace
 
 Engine::Engine(EngineOptions options)
     : options_(options), jobs_(effectiveJobs(options.jobs)),
+      pid_(nextEnginePid()),
       // A 1-job engine runs inline on the submitting thread.
-      pool_(jobs_ <= 1 ? 0 : jobs_),
+      pool_(jobs_ <= 1 ? 0 : jobs_,
+            PoolTelemetry{options.metrics, options.trace, pid_}),
       cache_(options.cacheCapacity, options.cacheShards)
 {
     if (options_.cacheEnabled && !options_.cacheDir.empty()) {
         disk_ = std::make_unique<DiskCache>(options_.cacheDir,
                                             options_.cacheMaxBytes);
     }
+    if (options_.trace != nullptr)
+        options_.trace->metadata(
+            "process_name", pid_, 0,
+            "gpsched engine " + std::to_string(pid_));
 }
 
 CompileResult
 Engine::runJob(const EngineJob &job)
 {
+    // compileMs and source are always recorded: two monotonic clock
+    // reads per job, independent of the telemetry options.
+    std::uint64_t startNanos = monotonicNanos();
+    CompileSource source = CompileSource::Compiled;
+    CompileTrace trace;
+    CompileResult result = runJobImpl(job, source, trace);
+    result.source = source;
+    result.compileMs =
+        static_cast<double>(monotonicNanos() - startNanos) * 1e-6;
+    result.trace = trace;
+    if (!trace.empty()) {
+        std::lock_guard<std::mutex> lock(totalsMutex_);
+        totals_.merge(trace);
+    }
+    return result;
+}
+
+CompileResult
+Engine::runJobImpl(const EngineJob &job, CompileSource &source,
+                   CompileTrace &trace)
+{
     GPSCHED_ASSERT(job.loop != nullptr && job.machine != nullptr,
                    "engine job without loop or machine");
     jobsSubmitted_.fetch_add(1, std::memory_order_relaxed);
+
+    // Runs compiler.compile under the ambient telemetry context so
+    // GPSCHED_PHASE_SPAN sites attribute into this job's trace, and
+    // brackets the whole compile for the "compile" Chrome span and
+    // the trace's whole-compile totals. With telemetry off this
+    // reduces to the plain compile call.
+    auto tracedCompile = [&](LoopCompiler &compiler) {
+        TraceSink *sink = options_.trace;
+        const bool collect = options_.collectPhases || sink != nullptr;
+        if (!collect)
+            return compiler.compile(*job.loop);
+        TelemetryContext ctx;
+        ctx.trace = &trace;
+        ctx.sink = sink;
+        ctx.pid = pid_;
+        ScopedTelemetryContext scoped(ctx);
+        std::uint64_t wall0 = traceNowNanos();
+        std::uint64_t cpu0 = threadCpuNanos();
+        auto finish = [&](bool ok) {
+            std::uint64_t wall1 = traceNowNanos();
+            trace.wallNanos = wall1 - wall0;
+            trace.cpuNanos = threadCpuNanos() - cpu0;
+            trace.compiles = 1;
+            if (sink != nullptr) {
+                TraceEvent event;
+                event.name = "compile";
+                event.cat = "compile";
+                event.pid = pid_;
+                event.tid = traceThreadId();
+                event.tsNanos = wall0;
+                event.durNanos = trace.wallNanos;
+                event.args.emplace_back("loop", job.loop->name());
+                event.args.emplace_back("scheme",
+                                        toString(job.kind));
+                if (!ok)
+                    event.args.emplace_back("error", "CompileError");
+                sink->complete(std::move(event));
+            }
+        };
+        try {
+            CompiledLoop compiled = compiler.compile(*job.loop);
+            finish(true);
+            return compiled;
+        } catch (...) {
+            finish(false);
+            throw;
+        }
+    };
+
+    // Brackets a cache/disk probe in a Chrome span; near-zero when
+    // no sink is configured.
+    auto probeSpan = [&](const char *name, const char *cat,
+                         auto &&probe) {
+        TraceSink *sink = options_.trace;
+        if (sink == nullptr)
+            return probe();
+        std::uint64_t wall0 = traceNowNanos();
+        bool hit = probe();
+        TraceEvent event;
+        event.name = name;
+        event.cat = cat;
+        event.pid = pid_;
+        event.tid = traceThreadId();
+        event.tsNanos = wall0;
+        event.durNanos = traceNowNanos() - wall0;
+        event.args.emplace_back("hit", hit ? "true" : "false");
+        sink->complete(std::move(event));
+        return hit;
+    };
 
     // Turns a caught CompileError into this job's diagnostic result,
     // re-labelled with the requesting loop's name (the error may
@@ -77,7 +198,7 @@ Engine::runJob(const EngineJob &job)
         try {
             LoopCompiler compiler(*job.machine, job.kind,
                                   job.options);
-            return CompileResult::success(compiler.compile(*job.loop));
+            return CompileResult::success(tracedCompile(compiler));
         } catch (const CompileError &error) {
             return failWith(error);
         }
@@ -86,8 +207,10 @@ Engine::runJob(const EngineJob &job)
     LoopKey key =
         makeLoopKey(*job.loop, *job.machine, job.kind, job.options);
     CompiledLoop result;
-    if (cache_.lookup(key, result)) {
+    if (probeSpan("cache-probe", "cache",
+                  [&] { return cache_.lookup(key, result); })) {
         cacheHits_.fetch_add(1, std::memory_order_relaxed);
+        source = CompileSource::Memory;
         // Names are excluded from the fingerprint; report the
         // requesting loop's name, not the first-seen shape's.
         result.loopName = job.loop->name();
@@ -106,6 +229,7 @@ Engine::runJob(const EngineJob &job)
         std::lock_guard<std::mutex> lock(inflightMutex_);
         if (cache_.lookup(key, result)) {
             cacheHits_.fetch_add(1, std::memory_order_relaxed);
+            source = CompileSource::Memory;
             result.loopName = job.loop->name();
             return CompileResult::success(std::move(result));
         }
@@ -119,6 +243,7 @@ Engine::runJob(const EngineJob &job)
     }
     if (pending.valid()) {
         coalesced_.fetch_add(1, std::memory_order_relaxed);
+        source = CompileSource::Coalesced;
         // The shared future carries the owner's exception; a
         // duplicate awaiting a failed owner observes the same
         // CompileError instead of hanging or crashing.
@@ -146,8 +271,11 @@ Engine::runJob(const EngineJob &job)
     // This thread owns the key. Probe the persistent layer before
     // compiling; coalesced duplicates wait on the future either way,
     // so each key touches the disk at most once per process run.
-    if (disk_ && disk_->lookup(key, result)) {
+    if (disk_ &&
+        probeSpan("disk-lookup", "disk",
+                  [&] { return disk_->lookup(key, result); })) {
         publishAndRetire();
+        source = CompileSource::Disk;
         result.loopName = job.loop->name();
         return CompileResult::success(std::move(result));
     }
@@ -155,7 +283,7 @@ Engine::runJob(const EngineJob &job)
 
     try {
         LoopCompiler compiler(*job.machine, job.kind, job.options);
-        result = compiler.compile(*job.loop);
+        result = tracedCompile(compiler);
     } catch (...) {
         // Propagate the failure to coalesced waiters and retire the
         // in-flight entry, or this key would stay wedged forever.
@@ -175,8 +303,12 @@ Engine::runJob(const EngineJob &job)
         // propagating; the thread pool contains and rethrows them
         // from wait().
     }
-    if (disk_)
-        disk_->store(key, result);
+    if (disk_) {
+        probeSpan("disk-store", "disk", [&] {
+            disk_->store(key, result);
+            return true;
+        });
+    }
     publishAndRetire();
     return CompileResult::success(std::move(result));
 }
@@ -218,6 +350,53 @@ Engine::stats() const
         stats.corruptEvicted = disk.corruptEvicted;
     }
     return stats;
+}
+
+CompileTrace
+Engine::phaseTotals() const
+{
+    std::lock_guard<std::mutex> lock(totalsMutex_);
+    return totals_;
+}
+
+void
+Engine::exportStats(MetricRegistry &registry) const
+{
+    EngineStats s = stats();
+    registry.counter("engine.jobsSubmitted").set(s.jobsSubmitted);
+    registry.counter("engine.cacheHits").set(s.cacheHits);
+    registry.counter("engine.cacheMisses").set(s.cacheMisses);
+    registry.counter("engine.coalesced").set(s.coalesced);
+    registry.counter("engine.failed").set(s.failed);
+    registry.gauge("engine.cacheSize")
+        .set(static_cast<std::int64_t>(cache_.size()));
+    if (disk_) {
+        registry.counter("disk.hits").set(s.diskHits);
+        registry.counter("disk.misses").set(s.diskMisses);
+        registry.counter("disk.stores").set(s.diskStores);
+        registry.counter("disk.corruptEvicted").set(s.corruptEvicted);
+    }
+    CompileTrace totals = phaseTotals();
+    if (totals.empty())
+        return;
+    registry.counter("phase.compile.count").set(totals.compiles);
+    registry.counter("phase.compile.wallMicros")
+        .set(totals.wallNanos / 1000);
+    registry.counter("phase.compile.cpuMicros")
+        .set(totals.cpuNanos / 1000);
+    for (std::size_t i = 0; i < kNumCompilePhases; ++i) {
+        const PhaseTotals &phase = totals.phases[i];
+        if (phase.count == 0)
+            continue;
+        std::string prefix =
+            std::string("phase.") +
+            compilePhaseName(static_cast<CompilePhase>(i));
+        registry.counter(prefix + ".count").set(phase.count);
+        registry.counter(prefix + ".wallMicros")
+            .set(phase.wallNanos / 1000);
+        registry.counter(prefix + ".cpuMicros")
+            .set(phase.cpuNanos / 1000);
+    }
 }
 
 } // namespace gpsched

@@ -48,6 +48,7 @@
 #include "graph/ddg.hh"
 #include "machine/machine.hh"
 #include "support/compile_error.hh"
+#include "support/telemetry.hh"
 
 namespace gpsched
 {
@@ -78,6 +79,28 @@ struct EngineOptions
 
     /** Disk-cache resident-size budget in bytes; 0 = unlimited. */
     std::uint64_t cacheMaxBytes = 256ull << 20;
+
+    /**
+     * Metric destination shared with the thread pool (queue depth,
+     * task wait/run, per-worker utilization) and exportStats().
+     * Null disables; must outlive the engine.
+     */
+    MetricRegistry *metrics = nullptr;
+
+    /**
+     * Chrome trace destination: compile/cache-probe/disk spans on
+     * worker tids plus queue-wait async spans, all under this
+     * engine's pid. Null disables; must outlive the engine.
+     */
+    TraceSink *trace = nullptr;
+
+    /**
+     * Record a per-compile phase breakdown (CompileResult::trace)
+     * and aggregate it into phaseTotals(). Implied by a non-null
+     * trace sink. Observation-only: schedules are bit-identical
+     * either way.
+     */
+    bool collectPhases = false;
 };
 
 /** Serial, cache-less configuration (the legacy pipeline path). */
@@ -96,6 +119,18 @@ struct EngineJob
     LoopCompilerOptions options;
 };
 
+/** How a job's result was obtained. */
+enum class CompileSource : std::uint8_t
+{
+    Compiled, ///< compiled fresh on this engine
+    Memory,   ///< in-memory ResultCache hit
+    Disk,     ///< persistent DiskCache hit
+    Coalesced ///< awaited an identical in-flight compilation
+};
+
+/** Stable JSON name: "compiled" | "memory" | "disk" | "coalesced". */
+const char *compileSourceName(CompileSource source);
+
 /**
  * Per-job outcome: either a schedule or a diagnostic, never both.
  * The batch analogue of "a result row": failures occupy their
@@ -109,6 +144,24 @@ struct CompileResult
 
     /** The per-loop diagnostic; set iff the compile failed. */
     std::optional<CompileError> error;
+
+    /** How this result was obtained (failures: path that failed). */
+    CompileSource source = CompileSource::Compiled;
+
+    /**
+     * Wall time this job spent in the engine, milliseconds: compile
+     * time for fresh compiles, probe/wait time for cache hits and
+     * coalesced duplicates. Always measured (two monotonic clock
+     * reads), independent of telemetry options.
+     */
+    double compileMs = 0.0;
+
+    /**
+     * Phase breakdown of this job's own compilation; empty() unless
+     * the engine ran with collectPhases/trace AND this job actually
+     * compiled (cache hits describe no new work).
+     */
+    CompileTrace trace;
 
     bool ok() const { return !error.has_value(); }
 
@@ -192,6 +245,24 @@ class Engine
     /** Lifetime counters. */
     EngineStats stats() const;
 
+    /**
+     * Batch-aggregated phase breakdown (every compile this engine
+     * ran with collectPhases/trace on). Empty when phase collection
+     * was off.
+     */
+    CompileTrace phaseTotals() const;
+
+    /**
+     * Snapshots the lifetime counters (and phase totals, when
+     * collected) into @p registry under engine.* / disk.* / phase.*
+     * — the MetricRegistry view of stats(). Counters are set, not
+     * added, so repeated exports stay idempotent.
+     */
+    void exportStats(MetricRegistry &registry) const;
+
+    /** This engine's pid in emitted Chrome trace events. */
+    std::uint32_t tracePid() const { return pid_; }
+
     /** The result cache (for capacity/size introspection). */
     const ResultCache &cache() const { return cache_; }
 
@@ -204,9 +275,13 @@ class Engine
 
   private:
     CompileResult runJob(const EngineJob &job);
+    CompileResult runJobImpl(const EngineJob &job,
+                             CompileSource &source,
+                             CompileTrace &trace);
 
     EngineOptions options_;
     int jobs_;
+    std::uint32_t pid_; ///< trace pid; must init before pool_
     ThreadPool pool_;
     ResultCache cache_;
 
@@ -220,6 +295,10 @@ class Engine
     std::mutex inflightMutex_;
     std::unordered_map<std::string, std::shared_future<CompiledLoop>>
         inflight_;
+
+    /** Batch-aggregated phase totals (collectPhases/trace only). */
+    mutable std::mutex totalsMutex_;
+    CompileTrace totals_;
 
     std::atomic<std::uint64_t> jobsSubmitted_{0};
     std::atomic<std::uint64_t> cacheHits_{0};

@@ -17,6 +17,13 @@
  * exception (it cannot throw). The engine keeps per-loop failures
  * out of this channel entirely (engine/engine.hh converts them to
  * CompileResult diagnostics); only unexpected escapes reach it.
+ *
+ * Telemetry: an optional PoolTelemetry (constructor-injected, so
+ * there is no attach-after-start race) gives the pool queue-depth /
+ * task-wait / task-run metrics and per-worker utilization counters,
+ * plus Chrome async "queue-wait" spans. With the default empty
+ * telemetry the pool behaves exactly as before — no timestamps are
+ * taken.
  */
 
 #ifndef GPSCHED_ENGINE_THREAD_POOL_HH
@@ -24,6 +31,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -34,6 +42,22 @@
 namespace gpsched
 {
 
+class MetricRegistry;
+class TraceSink;
+
+/** Optional observation hooks for a ThreadPool (both may be null). */
+struct PoolTelemetry
+{
+    MetricRegistry *metrics = nullptr;
+    TraceSink *trace = nullptr;
+    std::uint32_t pid = 0; ///< trace pid of the owning engine
+
+    bool enabled() const
+    {
+        return metrics != nullptr || trace != nullptr;
+    }
+};
+
 /** FIFO thread pool; destruction drains the queue and joins. */
 class ThreadPool
 {
@@ -42,7 +66,8 @@ class ThreadPool
      * Spawns @p num_threads workers. 0 selects inline execution:
      * submit() runs the task on the calling thread before returning.
      */
-    explicit ThreadPool(int num_threads);
+    explicit ThreadPool(int num_threads,
+                        PoolTelemetry telemetry = PoolTelemetry{});
 
     /** Waits for outstanding tasks, then joins all workers. */
     ~ThreadPool();
@@ -73,18 +98,30 @@ class ThreadPool
     static int hardwareConcurrency();
 
   private:
-    void workerLoop();
+    /** One queue entry; timestamps only taken when telemetry is on. */
+    struct Task
+    {
+        std::function<void()> fn;
+        std::uint64_t enqueueNanos = 0;
+    };
 
-    /** Runs @p task under the catch-all and marks it finished. */
-    void runTask(std::function<void()> task);
+    void workerLoop(int workerIndex);
+
+    /**
+     * Runs @p task under the catch-all and marks it finished.
+     * @p workerIndex is -1 for inline execution.
+     */
+    void runTask(Task task, int workerIndex);
 
     std::vector<std::thread> workers_;
-    std::deque<std::function<void()>> queue_;
+    std::deque<Task> queue_;
     mutable std::mutex mutex_;
     std::condition_variable workReady_;
     std::condition_variable allDone_;
     std::size_t unfinished_ = 0; ///< queued + currently running
     bool stopping_ = false;
+
+    PoolTelemetry telemetry_;
 
     /** First exception a task threw since the last wait(). */
     std::exception_ptr firstError_;

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <limits>
 #include <numeric>
+#include <optional>
 
 #include "support/logging.hh"
 #include "support/random.hh"
+#include "support/telemetry.hh"
 
 namespace gpsched
 {
@@ -119,13 +121,19 @@ GpPartitioner::run(const Ddg &ddg, int ii) const
 
     // --- 2. coarsen ---------------------------------------------------
     Rng rng(options_.seed);
-    CoarseningHierarchy hierarchy(ddg, weights, clusters,
-                                  options_.matching, rng);
+    std::optional<CoarseningHierarchy> hierarchyStorage;
+    {
+        GPSCHED_PHASE_SPAN(Coarsen);
+        hierarchyStorage.emplace(ddg, weights, clusters,
+                                 options_.matching, rng);
+    }
+    const CoarseningHierarchy &hierarchy = *hierarchyStorage;
 
     // --- 3. initial assignment (AssignmentPolicy) ---------------------
     const CoarseLevel &coarsest = hierarchy.coarsest();
     Partition partition(ddg.numNodes(), clusters);
     {
+        GPSCHED_PHASE_SPAN(InitialPartition);
         std::vector<int> order(coarsest.numNodes());
         std::iota(order.begin(), order.end(), 0);
         std::sort(order.begin(), order.end(), [&](int x, int y) {
@@ -167,6 +175,7 @@ GpPartitioner::run(const Ddg &ddg, int ii) const
 
     // --- 4. refine coarsest -> finest ---------------------------------
     if (options_.refineEnabled) {
+        GPSCHED_PHASE_SPAN(Refine);
         RefineOptions refine_options = options_.refine;
         refine_options.registerAware |= options_.registerAware;
         PartitionRefiner refiner(ddg, machine_, ii, weights,

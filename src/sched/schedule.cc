@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "support/logging.hh"
+#include "support/telemetry.hh"
 
 namespace gpsched
 {
@@ -284,6 +285,9 @@ PartialSchedule::planTransfer(NodeId producer, int dest_cluster,
                               const PlacementPlan &plan,
                               TransferPlan &out) const
 {
+    // Totals-only phase (no Chrome event): planTransfer runs nested
+    // inside ModuloSchedule thousands of times per compile.
+    GPSCHED_PHASE_SPAN(TransferPlanning);
     const ValueState &vs = values_[producer];
     const int home = producer == plan.node ? plan.cluster
                                            : placed_[producer].cluster;

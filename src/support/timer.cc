@@ -5,6 +5,20 @@
 namespace gpsched
 {
 
+namespace
+{
+
+std::uint64_t
+clockNanos(clockid_t id)
+{
+    timespec ts{};
+    clock_gettime(id, &ts);
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+           static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+} // namespace
+
 double
 CpuTimer::nowSeconds()
 {
@@ -24,6 +38,36 @@ double
 CpuTimer::elapsedSeconds() const
 {
     return nowSeconds() - startSeconds_;
+}
+
+std::uint64_t
+monotonicNanos()
+{
+    return clockNanos(CLOCK_MONOTONIC);
+}
+
+std::uint64_t
+threadCpuNanos()
+{
+    return clockNanos(CLOCK_THREAD_CPUTIME_ID);
+}
+
+void
+WallTimer::start()
+{
+    startNanos_ = monotonicNanos();
+}
+
+double
+WallTimer::elapsedSeconds() const
+{
+    return static_cast<double>(elapsedNanos()) * 1e-9;
+}
+
+std::uint64_t
+WallTimer::elapsedNanos() const
+{
+    return monotonicNanos() - startNanos_;
 }
 
 } // namespace gpsched

@@ -1,12 +1,16 @@
 /**
  * @file
- * CPU-time measurement for the Table-2 experiment (average scheduling
- * time per algorithm). Uses the per-process CPU clock so measurements
- * exclude time the process spends descheduled.
+ * Time measurement for the Table-2 experiment and the telemetry
+ * subsystem. CpuTimer uses the per-process CPU clock so measurements
+ * exclude time the process spends descheduled; WallTimer uses the
+ * monotonic clock so queue-wait and I/O intervals — invisible to the
+ * CPU clock — are measurable too.
  */
 
 #ifndef GPSCHED_SUPPORT_TIMER_HH
 #define GPSCHED_SUPPORT_TIMER_HH
+
+#include <cstdint>
 
 namespace gpsched
 {
@@ -26,6 +30,37 @@ class CpuTimer
 
     static double nowSeconds();
 };
+
+/**
+ * Measures elapsed wall-clock time on the monotonic clock. Unlike
+ * CpuTimer this advances while the thread sleeps or waits, which is
+ * exactly what queue-wait / disk-I/O spans need.
+ */
+class WallTimer
+{
+  public:
+    /** Starts (or restarts) the timer. */
+    void start();
+
+    /** Returns wall seconds elapsed since start(). */
+    double elapsedSeconds() const;
+
+    /** Returns wall nanoseconds elapsed since start(). */
+    std::uint64_t elapsedNanos() const;
+
+  private:
+    std::uint64_t startNanos_ = 0;
+};
+
+/** Monotonic (CLOCK_MONOTONIC) timestamp in nanoseconds. */
+std::uint64_t monotonicNanos();
+
+/**
+ * Per-thread CPU time (CLOCK_THREAD_CPUTIME_ID) in nanoseconds.
+ * Phase spans use this rather than the process clock so concurrent
+ * compiles on other workers don't inflate a phase's CPU cost.
+ */
+std::uint64_t threadCpuNanos();
 
 } // namespace gpsched
 

@@ -1,14 +1,18 @@
 /**
  * @file
  * Unit tests for the support substrate: deterministic RNG, summary
- * statistics, table rendering and the CPU timer.
+ * statistics (running stats and histograms), table rendering, and
+ * the CPU/wall timers.
  */
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "support/random.hh"
 #include "support/stats.hh"
@@ -222,4 +226,147 @@ TEST(CpuTimer, ElapsedIsNonNegativeAndGrows)
     for (int i = 0; i < 2000000; ++i)
         sink = sink + std::sqrt(static_cast<double>(i));
     EXPECT_GE(timer.elapsedSeconds(), first);
+}
+
+TEST(WallTimer, ElapsedAdvancesAcrossSleep)
+{
+    WallTimer timer;
+    timer.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    std::uint64_t nanos = timer.elapsedNanos();
+    // Sleeping 20 ms must register at least 10 ms of wall time even
+    // on a heavily loaded CI box; seconds and nanos must agree.
+    EXPECT_GE(nanos, 10u * 1000 * 1000);
+    EXPECT_NEAR(timer.elapsedSeconds(), nanos * 1e-9, 0.05);
+}
+
+TEST(WallTimer, RestartResetsOrigin)
+{
+    WallTimer timer;
+    timer.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    std::uint64_t before = timer.elapsedNanos();
+    timer.start();
+    EXPECT_LT(timer.elapsedNanos(), before);
+}
+
+TEST(WallTimer, SleepIsWallTimeNotCpuTime)
+{
+    // The distinguishing contract: a sleeping thread accrues wall
+    // time but (almost) no CPU time. Queue-wait spans depend on it.
+    std::uint64_t wall0 = monotonicNanos();
+    std::uint64_t cpu0 = threadCpuNanos();
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    std::uint64_t wall = monotonicNanos() - wall0;
+    std::uint64_t cpu = threadCpuNanos() - cpu0;
+    EXPECT_GE(wall, 25u * 1000 * 1000);
+    EXPECT_LT(cpu, wall / 2);
+}
+
+TEST(MonotonicNanos, NeverGoesBackwards)
+{
+    std::uint64_t last = monotonicNanos();
+    for (int i = 0; i < 1000; ++i) {
+        std::uint64_t now = monotonicNanos();
+        EXPECT_GE(now, last);
+        last = now;
+    }
+}
+
+TEST(Histogram, EmptyIsZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0.0);
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.min(), 0.0);
+    EXPECT_EQ(h.max(), 0.0);
+    EXPECT_EQ(h.p50(), 0.0);
+    EXPECT_EQ(h.p95(), 0.0);
+}
+
+TEST(Histogram, ExactMomentsApproximateQuantiles)
+{
+    Histogram h(1.0, 2.0, 16);
+    for (int i = 1; i <= 100; ++i)
+        h.add(static_cast<double>(i));
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_DOUBLE_EQ(h.sum(), 5050.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 100.0);
+    // Bucket bounds are powers of two: the true p50 (50) lands in
+    // the (32, 64] bucket, so the estimate is its upper bound; p95
+    // (95) lands in (64, 128] whose bound clamps to max = 100.
+    EXPECT_DOUBLE_EQ(h.p50(), 64.0);
+    EXPECT_DOUBLE_EQ(h.p95(), 100.0);
+    // Generic contract, independent of bucket shape: within one
+    // growth factor of the true quantile.
+    EXPECT_GE(h.p50(), 50.0 / 2.0);
+    EXPECT_LE(h.p50(), 50.0 * 2.0);
+}
+
+TEST(Histogram, SingleValueQuantilesCollapse)
+{
+    Histogram h(1.0, 2.0, 8);
+    h.add(7.0);
+    EXPECT_DOUBLE_EQ(h.p50(), 7.0);
+    EXPECT_DOUBLE_EQ(h.p95(), 7.0);
+}
+
+TEST(Histogram, OverflowBucketClampsToMax)
+{
+    Histogram h(1.0, 2.0, 2); // bounded buckets: (..1], (1..2]
+    h.add(1000.0);
+    h.add(2000.0);
+    // Quantiles landing in the unbounded bucket report the observed
+    // max — the only finite bound available.
+    EXPECT_DOUBLE_EQ(h.p50(), 2000.0);
+    EXPECT_DOUBLE_EQ(h.p95(), 2000.0);
+    std::vector<Histogram::Bucket> buckets = h.buckets();
+    ASSERT_EQ(buckets.size(), 3u);
+    EXPECT_TRUE(std::isinf(buckets.back().upperBound));
+    EXPECT_EQ(buckets.back().count, 2u);
+}
+
+TEST(Histogram, NegativeSamplesClampIntoFirstBucket)
+{
+    Histogram h(1.0, 2.0, 4);
+    h.add(-5.0);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_DOUBLE_EQ(h.min(), -5.0);
+    EXPECT_EQ(h.buckets().front().count, 1u);
+}
+
+TEST(Histogram, CopyIsIndependent)
+{
+    Histogram a(1.0, 2.0, 8);
+    a.add(3.0);
+    Histogram b = a;
+    b.add(9.0);
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(Histogram, ConcurrentAddsLoseNothing)
+{
+    // Exercised under TSan in CI: concurrent add() on a shared
+    // histogram must be race-free and lose no samples.
+    Histogram h(1.0, 2.0, 16);
+    constexpr int threads = 8;
+    constexpr int perThread = 5000;
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (int t = 0; t < threads; ++t) {
+        workers.emplace_back([&h, t] {
+            for (int i = 0; i < perThread; ++i)
+                h.add(static_cast<double>(t + 1));
+        });
+    }
+    for (std::thread &worker : workers)
+        worker.join();
+    EXPECT_EQ(h.count(),
+              static_cast<std::size_t>(threads) * perThread);
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.max(), static_cast<double>(threads));
 }

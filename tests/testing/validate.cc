@@ -5,6 +5,8 @@
 #include <sstream>
 #include <vector>
 
+#include "support/telemetry.hh"
+
 namespace gpsched::testing
 {
 
@@ -373,6 +375,7 @@ ValidationResult
 validateSchedule(const Ddg &ddg, const MachineConfig &machine,
                  const PartialSchedule &schedule)
 {
+    GPSCHED_PHASE_SPAN(Validate);
     Checker checker(ddg, machine, schedule);
     checker.checkPlacements() && checker.checkDependences() &&
         checker.checkSpills() && checker.checkResources() &&

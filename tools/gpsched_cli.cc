@@ -27,6 +27,12 @@
  *                       report instead of aborting the run; exit
  *                       status is nonzero iff any loop failed
  *     --json PATH       report path; '-' = stdout (default '-')
+ *     --stats-json PATH unified metric-registry dump (engine/cache/
+ *                       disk/pool/phase counters; see
+ *                       docs/ARCHITECTURE.md "Telemetry")
+ *     --trace PATH      Chrome trace-event file (one pid per engine,
+ *                       one tid per worker; load in Perfetto or
+ *                       chrome://tracing)
  *
  * Without --keep-going the first failing loop ends the run with a
  * fatal file:line diagnostic (the historical behavior).
@@ -68,6 +74,8 @@ struct CliOptions
     std::string cacheDir;
     bool keepGoing = false;
     std::string jsonPath = "-";
+    std::string statsJsonPath; ///< metric-registry dump; empty = off
+    std::string tracePath;     ///< Chrome trace file; empty = off
     std::vector<std::string> files;
 };
 
@@ -92,7 +100,11 @@ usage(const char *argv0, int status)
        << "  --keep-going     report per-loop failures as JSON error\n"
        << "                   objects instead of aborting; exit 1\n"
        << "                   iff any loop failed\n"
-       << "  --json PATH      JSON report path, '-' = stdout\n";
+       << "  --json PATH      JSON report path, '-' = stdout\n"
+       << "  --stats-json PATH  write the unified metric registry\n"
+       << "                   (engine/disk/pool/phase) as JSON\n"
+       << "  --trace PATH     write a Chrome trace-event file\n"
+       << "                   (Perfetto-loadable)\n";
     std::exit(status);
 }
 
@@ -160,6 +172,10 @@ parseArgs(int argc, char **argv)
             options.keepGoing = true;
         else if (arg == "--json")
             options.jsonPath = needValue(i);
+        else if (arg == "--stats-json")
+            options.statsJsonPath = needValue(i);
+        else if (arg == "--trace")
+            options.tracePath = needValue(i);
         else if (arg == "--help" || arg == "-h")
             usage(argv[0], 0);
         else if (!arg.empty() && arg[0] == '-') {
@@ -386,6 +402,10 @@ writeReport(std::ostream &os, const CliOptions &options,
             json.member("nodes", input.ddg.numNodes());
             json.member("edges", input.ddg.numEdges());
             json.member("tripCount", input.ddg.tripCount());
+            // Per-row warm/cold inspectability: how this row was
+            // obtained and how long the engine spent on it.
+            json.member("source", compileSourceName(result.source));
+            json.member("compileMs", result.compileMs);
             if (!result.ok()) {
                 writeErrorObject(json, *result.error);
                 json.endObject();
@@ -425,6 +445,11 @@ writeReport(std::ostream &os, const CliOptions &options,
     json.member("diskStores", stats.diskStores);
     json.member("corruptEvicted", stats.corruptEvicted);
     json.member("diskHitRate", stats.diskHitRate());
+    // Additive: phase breakdown only when the engine collected one,
+    // so pre-telemetry consumers of this block are unaffected.
+    CompileTrace phases = engine.phaseTotals();
+    if (!phases.empty())
+        writeCompileTracePhases(json, "phases", phases);
     json.endObject();
     json.endObject();
 }
@@ -438,9 +463,21 @@ run(int argc, char **argv)
     std::vector<InputLoop> inputs =
         readInputs(options.files, options.keepGoing);
 
+    // Telemetry destinations outlive the engine (required: worker
+    // threads write into them until the engine is destroyed).
+    MetricRegistry registry;
+    TraceSink trace;
     EngineOptions engineOptions;
     engineOptions.jobs = options.jobs;
     engineOptions.cacheDir = options.cacheDir;
+    if (!options.statsJsonPath.empty()) {
+        engineOptions.metrics = &registry;
+        engineOptions.collectPhases = true;
+    }
+    if (!options.tracePath.empty()) {
+        engineOptions.trace = &trace;
+        engineOptions.collectPhases = true;
+    }
     Engine engine(engineOptions);
 
     std::vector<EngineJob> batch;
@@ -484,6 +521,22 @@ run(int argc, char **argv)
                           options.jsonPath, "'");
         writeReport(out, options, machine, schemes, inputs, results,
                     engine);
+    }
+
+    if (!options.statsJsonPath.empty()) {
+        engine.exportStats(registry);
+        std::ofstream out(options.statsJsonPath);
+        if (!out)
+            GPSCHED_FATAL("cannot open stats path '",
+                          options.statsJsonPath, "'");
+        registry.writeJson(out);
+    }
+    if (!options.tracePath.empty()) {
+        std::ofstream out(options.tracePath);
+        if (!out)
+            GPSCHED_FATAL("cannot open trace path '",
+                          options.tracePath, "'");
+        trace.writeJson(out);
     }
     return anyFailed ? 1 : 0;
 }
