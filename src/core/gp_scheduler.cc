@@ -6,6 +6,7 @@
 #include "graph/ddg_analysis.hh"
 #include "sched/list_sched.hh"
 #include "sched/mii.hh"
+#include "support/arena.hh"
 #include "support/logging.hh"
 #include "support/telemetry.hh"
 #include "support/timer.hh"
@@ -109,13 +110,18 @@ LoopCompiler::compile(const Ddg &ddg) const
 
     const bool partitioned = kind_ != SchedulerKind::Uracam &&
                              machine_.numClusters() > 1;
+    // One arena per compile: every II attempt resets it (retaining
+    // the grown chunks), so the steady state of the II search does no
+    // heap allocation for schedule/partition scratch. Partition
+    // results stay heap-backed and survive resets.
+    CompileArena arena;
     GpPartitioner partitioner(machine_, options_.partitioner);
     GpPartitionResult part{Partition(ddg.numNodes(),
                                      machine_.numClusters()),
                            0,
                            {}};
     if (partitioned) {
-        part = partitioner.run(ddg, mii);
+        part = partitioner.run(ddg, mii, &arena);
         ++out.partitionRuns;
     }
 
@@ -131,13 +137,17 @@ LoopCompiler::compile(const Ddg &ddg) const
     int ii = mii;
     while (ii <= max_ii) {
         ++out.scheduleAttempts;
+        // No arena-backed object from the previous attempt is alive
+        // here: ps destructs at the end of each iteration and the
+        // mid-loop repartition below only appends to the arena.
+        arena.reset();
         PartialSchedule ps(ddg, machine_, ii,
                            partitioned
                                ? plannedMemOps(ddg, machine_,
                                                part.partition)
                                : std::vector<int>{},
                            options_.fomThreshold,
-                           options_.transfer);
+                           options_.transfer, &arena);
         const Partition *assignment =
             partitioned ? &part.partition : nullptr;
         ClusterPolicy attempt_policy =
@@ -186,7 +196,7 @@ LoopCompiler::compile(const Ddg &ddg) const
         }
         if (kind_ == SchedulerKind::Gp && partitioned &&
             ii <= max_ii && recompute) {
-            part = partitioner.run(ddg, ii);
+            part = partitioner.run(ddg, ii, &arena);
             ++out.partitionRuns;
         }
     }

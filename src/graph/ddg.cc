@@ -50,34 +50,6 @@ Ddg::setTripCount(std::int64_t niter)
     tripCount_ = niter;
 }
 
-const DdgNode &
-Ddg::node(NodeId id) const
-{
-    GPSCHED_ASSERT(id >= 0 && id < numNodes(), "bad node id ", id);
-    return nodes_[id];
-}
-
-const DdgEdge &
-Ddg::edge(EdgeId id) const
-{
-    GPSCHED_ASSERT(id >= 0 && id < numEdges(), "bad edge id ", id);
-    return edges_[id];
-}
-
-const std::vector<EdgeId> &
-Ddg::outEdges(NodeId id) const
-{
-    GPSCHED_ASSERT(id >= 0 && id < numNodes(), "bad node id ", id);
-    return outEdges_[id];
-}
-
-const std::vector<EdgeId> &
-Ddg::inEdges(NodeId id) const
-{
-    GPSCHED_ASSERT(id >= 0 && id < numNodes(), "bad node id ", id);
-    return inEdges_[id];
-}
-
 int
 Ddg::numOps(FuClass cls) const
 {

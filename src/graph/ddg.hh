@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "machine/op.hh"
+#include "support/logging.hh"
 
 namespace gpsched
 {
@@ -104,17 +105,43 @@ class Ddg
     /** Number of edges. */
     int numEdges() const { return static_cast<int>(edges_.size()); }
 
+    // The four per-node/per-edge accessors below are the innermost
+    // reads of every analysis and refinement loop (tens of millions
+    // of calls per compile); they are defined inline so those loops
+    // see plain indexed loads instead of opaque calls. The bounds
+    // asserts stay — they fold into the surrounding loop bounds.
+
     /** Node accessor. */
-    const DdgNode &node(NodeId id) const;
+    const DdgNode &
+    node(NodeId id) const
+    {
+        GPSCHED_ASSERT(id >= 0 && id < numNodes(), "bad node id ", id);
+        return nodes_[id];
+    }
 
     /** Edge accessor. */
-    const DdgEdge &edge(EdgeId id) const;
+    const DdgEdge &
+    edge(EdgeId id) const
+    {
+        GPSCHED_ASSERT(id >= 0 && id < numEdges(), "bad edge id ", id);
+        return edges_[id];
+    }
 
     /** Ids of edges leaving @p id. */
-    const std::vector<EdgeId> &outEdges(NodeId id) const;
+    const std::vector<EdgeId> &
+    outEdges(NodeId id) const
+    {
+        GPSCHED_ASSERT(id >= 0 && id < numNodes(), "bad node id ", id);
+        return outEdges_[id];
+    }
 
     /** Ids of edges entering @p id. */
-    const std::vector<EdgeId> &inEdges(NodeId id) const;
+    const std::vector<EdgeId> &
+    inEdges(NodeId id) const
+    {
+        GPSCHED_ASSERT(id >= 0 && id < numNodes(), "bad node id ", id);
+        return inEdges_[id];
+    }
 
     /** Number of nodes executing on functional-unit class @p cls. */
     int numOps(FuClass cls) const;

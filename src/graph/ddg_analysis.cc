@@ -27,14 +27,6 @@ DdgAnalysis::DdgAnalysis(const Ddg &ddg, const LatencyTable &latencies,
     }
 }
 
-int
-DdgAnalysis::effectiveLatency(EdgeId e) const
-{
-    const auto &edge = ddg_.edge(e);
-    int lat = edge.latency + (extra_ ? (*extra_)[e] : 0);
-    return lat - ii_ * edge.distance;
-}
-
 void
 DdgAnalysis::compute(const SccDecomposition &sccs)
 {
@@ -48,16 +40,24 @@ DdgAnalysis::compute(const SccDecomposition &sccs)
     // condensation; iterate them backwards for a topological sweep.
     const int nc = sccs.numComponents();
 
+    // The relaxation loops below fetch each edge record once and
+    // compute its effective latency in place (effectiveLatency(e)
+    // would re-load the record): these are the innermost loops of
+    // every estimator evaluation.
+
     // --- forward pass: ASAP ------------------------------------------
     for (int c = nc - 1; c >= 0; --c) {
         const auto &comp = sccs.components[c];
         // Pull in finalized values over cross-component in-edges.
         for (NodeId v : comp) {
             for (EdgeId e : ddg_.inEdges(v)) {
-                NodeId u = ddg_.edge(e).src;
+                const auto &edge = ddg_.edge(e);
+                NodeId u = edge.src;
                 if (sccs.componentOf[u] != c) {
-                    asap_[v] = std::max(asap_[v],
-                                        asap_[u] + effectiveLatency(e));
+                    int lat = edge.latency +
+                              (extra_ ? (*extra_)[e] : 0) -
+                              ii_ * edge.distance;
+                    asap_[v] = std::max(asap_[v], asap_[u] + lat);
                 }
             }
         }
@@ -69,10 +69,14 @@ DdgAnalysis::compute(const SccDecomposition &sccs)
             changed = false;
             for (NodeId v : comp) {
                 for (EdgeId e : ddg_.outEdges(v)) {
-                    NodeId w = ddg_.edge(e).dst;
+                    const auto &edge = ddg_.edge(e);
+                    NodeId w = edge.dst;
                     if (sccs.componentOf[w] != c)
                         continue;
-                    int cand = asap_[v] + effectiveLatency(e);
+                    int lat = edge.latency +
+                              (extra_ ? (*extra_)[e] : 0) -
+                              ii_ * edge.distance;
+                    int cand = asap_[v] + lat;
                     if (cand > asap_[w]) {
                         asap_[w] = cand;
                         changed = true;
@@ -101,10 +105,13 @@ DdgAnalysis::compute(const SccDecomposition &sccs)
         const auto &comp = sccs.components[c];
         for (NodeId v : comp) {
             for (EdgeId e : ddg_.outEdges(v)) {
-                NodeId w = ddg_.edge(e).dst;
+                const auto &edge = ddg_.edge(e);
+                NodeId w = edge.dst;
                 if (sccs.componentOf[w] != c) {
-                    alap_[v] = std::min(alap_[v],
-                                        alap_[w] - effectiveLatency(e));
+                    int lat = edge.latency +
+                              (extra_ ? (*extra_)[e] : 0) -
+                              ii_ * edge.distance;
+                    alap_[v] = std::min(alap_[v], alap_[w] - lat);
                 }
             }
         }
@@ -114,10 +121,14 @@ DdgAnalysis::compute(const SccDecomposition &sccs)
             changed = false;
             for (NodeId v : comp) {
                 for (EdgeId e : ddg_.inEdges(v)) {
-                    NodeId u = ddg_.edge(e).src;
+                    const auto &edge = ddg_.edge(e);
+                    NodeId u = edge.src;
                     if (sccs.componentOf[u] != c)
                         continue;
-                    int cand = alap_[v] - effectiveLatency(e);
+                    int lat = edge.latency +
+                              (extra_ ? (*extra_)[e] : 0) -
+                              ii_ * edge.distance;
+                    int cand = alap_[v] - lat;
                     if (cand < alap_[u]) {
                         alap_[u] = cand;
                         changed = true;
@@ -132,49 +143,6 @@ DdgAnalysis::compute(const SccDecomposition &sccs)
             }
         }
     }
-}
-
-int
-DdgAnalysis::scheduleLength() const
-{
-    GPSCHED_ASSERT(feasible_, "infeasible analysis queried");
-    return scheduleLength_;
-}
-
-int
-DdgAnalysis::asap(NodeId v) const
-{
-    GPSCHED_ASSERT(feasible_, "infeasible analysis queried");
-    GPSCHED_ASSERT(v >= 0 && v < ddg_.numNodes(), "bad node ", v);
-    return asap_[v];
-}
-
-int
-DdgAnalysis::alap(NodeId v) const
-{
-    GPSCHED_ASSERT(feasible_, "infeasible analysis queried");
-    GPSCHED_ASSERT(v >= 0 && v < ddg_.numNodes(), "bad node ", v);
-    return alap_[v];
-}
-
-int
-DdgAnalysis::mobility(NodeId v) const
-{
-    return alap(v) - asap(v);
-}
-
-int
-DdgAnalysis::height(NodeId v) const
-{
-    return scheduleLength() - alap(v);
-}
-
-int
-DdgAnalysis::slack(EdgeId e) const
-{
-    GPSCHED_ASSERT(feasible_, "infeasible analysis queried");
-    const auto &edge = ddg_.edge(e);
-    return alap_[edge.dst] - asap_[edge.src] - effectiveLatency(e);
 }
 
 int

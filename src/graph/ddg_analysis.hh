@@ -24,6 +24,7 @@
 #include "graph/ddg.hh"
 #include "graph/scc.hh"
 #include "machine/op.hh"
+#include "support/logging.hh"
 
 namespace gpsched
 {
@@ -55,36 +56,69 @@ class DdgAnalysis
     /** Analyzed initiation interval. */
     int ii() const { return ii_; }
 
+    // The per-node/per-edge queries below are defined inline: the
+    // analysis itself and every consumer (estimator slack sums,
+    // scheduler priority functions) read them in tight loops.
+
     /**
      * Length of the flat (one-iteration) schedule: the largest
      * finish time over all nodes when every node starts at ASAP.
      * This is the paper's max_path. Only valid when feasible().
      */
-    int scheduleLength() const;
+    int
+    scheduleLength() const
+    {
+        GPSCHED_ASSERT(feasible_, "infeasible analysis queried");
+        return scheduleLength_;
+    }
 
     /** Earliest start of @p v. Only valid when feasible(). */
-    int asap(NodeId v) const;
+    int
+    asap(NodeId v) const
+    {
+        GPSCHED_ASSERT(feasible_, "infeasible analysis queried");
+        GPSCHED_ASSERT(v >= 0 && v < ddg_.numNodes(), "bad node ", v);
+        return asap_[v];
+    }
 
     /** Latest start of @p v preserving scheduleLength(). */
-    int alap(NodeId v) const;
+    int
+    alap(NodeId v) const
+    {
+        GPSCHED_ASSERT(feasible_, "infeasible analysis queried");
+        GPSCHED_ASSERT(v >= 0 && v < ddg_.numNodes(), "bad node ", v);
+        return alap_[v];
+    }
 
     /** Scheduling freedom alap(v) - asap(v). */
-    int mobility(NodeId v) const;
+    int mobility(NodeId v) const { return alap(v) - asap(v); }
 
     /** Longest path from any source to the start of @p v (= asap). */
     int depth(NodeId v) const { return asap(v); }
 
     /** Longest path from the start of @p v to the schedule end. */
-    int height(NodeId v) const;
+    int height(NodeId v) const { return scheduleLength() - alap(v); }
 
     /** Effective latency of @p e at this II (incl. extra latency). */
-    int effectiveLatency(EdgeId e) const;
+    int
+    effectiveLatency(EdgeId e) const
+    {
+        const auto &edge = ddg_.edge(e);
+        int lat = edge.latency + (extra_ ? (*extra_)[e] : 0);
+        return lat - ii_ * edge.distance;
+    }
 
     /**
      * Delay cycles that could be added to @p e without growing the
      * schedule length: alap(dst) - asap(src) - efflat(e).
      */
-    int slack(EdgeId e) const;
+    int
+    slack(EdgeId e) const
+    {
+        GPSCHED_ASSERT(feasible_, "infeasible analysis queried");
+        const auto &edge = ddg_.edge(e);
+        return alap_[edge.dst] - asap_[edge.src] - effectiveLatency(e);
+    }
 
     /** Maximum slack over all edges (paper's maxsl); 0 if no edges. */
     int maxSlack() const;

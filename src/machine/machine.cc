@@ -128,21 +128,6 @@ MachineConfig::homogeneous() const
     return true;
 }
 
-const ClusterDesc &
-MachineConfig::cluster(int c) const
-{
-    GPSCHED_ASSERT(c >= 0 && c < numClusters(), "bad cluster ", c);
-    return clusters_[c];
-}
-
-int
-MachineConfig::fuInCluster(int c, FuClass cls) const
-{
-    int idx = static_cast<int>(cls);
-    GPSCHED_ASSERT(idx >= 0 && idx < numFuClasses, "bad FuClass");
-    return cluster(c).fu[idx];
-}
-
 int
 MachineConfig::totalFu(FuClass cls) const
 {

@@ -110,11 +110,23 @@ class MachineConfig
     /** True when every cluster has identical resources. */
     bool homogeneous() const;
 
-    /** Resources of cluster @p c. */
-    const ClusterDesc &cluster(int c) const;
+    /** Resources of cluster @p c. Inline: read per (cluster, class)
+     *  inside the refinement feasibility loops. */
+    const ClusterDesc &
+    cluster(int c) const
+    {
+        GPSCHED_ASSERT(c >= 0 && c < numClusters(), "bad cluster ", c);
+        return clusters_[c];
+    }
 
     /** Functional units of @p cls in cluster @p c. */
-    int fuInCluster(int c, FuClass cls) const;
+    int
+    fuInCluster(int c, FuClass cls) const
+    {
+        int idx = static_cast<int>(cls);
+        GPSCHED_ASSERT(idx >= 0 && idx < numFuClasses, "bad FuClass");
+        return cluster(c).fu[idx];
+    }
 
     /** Registers in cluster @p c's register file. */
     int regsInCluster(int c) const { return cluster(c).regs; }

@@ -106,32 +106,6 @@ definesValue(Opcode op)
     }
 }
 
-FuClass
-fuClassOf(Opcode op)
-{
-    switch (op) {
-      case Opcode::IAlu:
-      case Opcode::IMul:
-      case Opcode::IDiv:
-        return FuClass::Int;
-      case Opcode::FAdd:
-      case Opcode::FMul:
-      case Opcode::FDiv:
-        return FuClass::Fp;
-      case Opcode::Load:
-      case Opcode::Store:
-      case Opcode::SpillSt:
-      case Opcode::SpillLd:
-      case Opcode::CommSt:
-      case Opcode::CommLd:
-        return FuClass::Mem;
-      case Opcode::BusCopy:
-        GPSCHED_PANIC("BusCopy executes on a bus, not a FU");
-      default:
-        GPSCHED_PANIC("bad Opcode ", static_cast<int>(op));
-    }
-}
-
 LatencyTable::LatencyTable()
 {
     auto set = [this](Opcode op, int lat, int occ) {
@@ -152,14 +126,6 @@ LatencyTable::LatencyTable()
     set(Opcode::SpillLd, 2, 1);
     set(Opcode::CommSt, 1, 1);
     set(Opcode::CommLd, 2, 1);
-}
-
-const OpTiming &
-LatencyTable::timing(Opcode op) const
-{
-    int idx = static_cast<int>(op);
-    GPSCHED_ASSERT(idx >= 0 && idx < numOpcodes, "bad opcode ", idx);
-    return timings_[idx];
 }
 
 void

@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <string>
 
+#include "support/logging.hh"
+
 namespace gpsched
 {
 
@@ -81,9 +83,34 @@ bool definesValue(Opcode op);
 /**
  * Functional-unit class executing @p op. BusCopy is special: it
  * consumes a bus slot, not a functional unit, and must not be passed
- * here.
+ * here. Inline: called per node inside every occupancy and
+ * scheduling loop; the switch compiles to a table lookup.
  */
-FuClass fuClassOf(Opcode op);
+inline FuClass
+fuClassOf(Opcode op)
+{
+    switch (op) {
+      case Opcode::IAlu:
+      case Opcode::IMul:
+      case Opcode::IDiv:
+        return FuClass::Int;
+      case Opcode::FAdd:
+      case Opcode::FMul:
+      case Opcode::FDiv:
+        return FuClass::Fp;
+      case Opcode::Load:
+      case Opcode::Store:
+      case Opcode::SpillSt:
+      case Opcode::SpillLd:
+      case Opcode::CommSt:
+      case Opcode::CommLd:
+        return FuClass::Mem;
+      case Opcode::BusCopy:
+        GPSCHED_PANIC("BusCopy executes on a bus, not a FU");
+      default:
+        GPSCHED_PANIC("bad Opcode ", static_cast<int>(op));
+    }
+}
 
 /**
  * Per-opcode timing: @c latency is cycles from issue to result
@@ -117,8 +144,16 @@ class LatencyTable
     /** Builds the default table. */
     LatencyTable();
 
-    /** Returns timing of @p op. */
-    const OpTiming &timing(Opcode op) const;
+    /** Returns timing of @p op. Inline: read per node per analysis
+     *  pass on the compile hot path. */
+    const OpTiming &
+    timing(Opcode op) const
+    {
+        int idx = static_cast<int>(op);
+        GPSCHED_ASSERT(idx >= 0 && idx < numOpcodes, "bad opcode ",
+                       idx);
+        return timings_[idx];
+    }
 
     /** Overrides timing of @p op. */
     void setTiming(Opcode op, OpTiming timing);

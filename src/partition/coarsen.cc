@@ -1,17 +1,59 @@
 #include "partition/coarsen.hh"
 
 #include <algorithm>
-#include <map>
 #include <utility>
 
+#include "support/arena.hh"
 #include "support/logging.hh"
 
 namespace gpsched
 {
 
+namespace
+{
+
+/** An undirected edge record awaiting pairwise combination. */
+struct CombEdge
+{
+    int a;
+    int b;
+    std::int64_t w;
+};
+
+/**
+ * Sums parallel edges: sorts @p comb by (a, b) and merges adjacent
+ * runs. Output is in ascending (a, b) order — the same order the
+ * std::map this replaces produced — and int64 addition over a run is
+ * order-independent, so results are bit-identical to the map path.
+ */
+void
+combineEdges(ArenaVector<CombEdge> &comb, std::vector<MatchEdge> &out)
+{
+    std::sort(comb.begin(), comb.end(),
+              [](const CombEdge &x, const CombEdge &y) {
+                  if (x.a != y.a)
+                      return x.a < y.a;
+                  return x.b < y.b;
+              });
+    for (std::size_t i = 0; i < comb.size();) {
+        std::int64_t w = comb[i].w;
+        std::size_t j = i + 1;
+        while (j < comb.size() && comb[j].a == comb[i].a &&
+               comb[j].b == comb[i].b) {
+            w += comb[j].w;
+            ++j;
+        }
+        out.push_back(MatchEdge{comb[i].a, comb[i].b, w});
+        i = j;
+    }
+}
+
+} // namespace
+
 CoarseLevel
 CoarseningHierarchy::buildFinestLevel(
-    const Ddg &ddg, const std::vector<std::int64_t> &edge_weights)
+    const Ddg &ddg, const std::vector<std::int64_t> &edge_weights,
+    CompileArena *arena)
 {
     CoarseLevel level;
     const int n = ddg.numNodes();
@@ -22,23 +64,24 @@ CoarseningHierarchy::buildFinestLevel(
         level.coarseOf[v] = v;
     }
 
-    std::map<std::pair<int, int>, std::int64_t> combined;
+    ArenaVector<CombEdge> comb(arena);
+    comb.reserve(ddg.numEdges());
     for (EdgeId e = 0; e < ddg.numEdges(); ++e) {
         const auto &edge = ddg.edge(e);
         if (edge.src == edge.dst)
             continue; // self recurrences cannot be cut
         int lo = std::min<int>(edge.src, edge.dst);
         int hi = std::max<int>(edge.src, edge.dst);
-        combined[{lo, hi}] += edge_weights[e];
+        comb.push_back(CombEdge{lo, hi, edge_weights[e]});
     }
-    for (const auto &[key, weight] : combined)
-        level.edges.push_back(MatchEdge{key.first, key.second, weight});
+    combineEdges(comb, level.edges);
     return level;
 }
 
 CoarseLevel
 CoarseningHierarchy::contract(const CoarseLevel &level,
-                              const std::vector<int> &pair_of)
+                              const std::vector<int> &pair_of,
+                              CompileArena *arena)
 {
     const int n = level.numNodes();
     // Assign new ids: matched pairs share one id; the lower index of
@@ -59,6 +102,14 @@ CoarseningHierarchy::contract(const CoarseLevel &level,
 
     CoarseLevel out;
     out.members.resize(next);
+    // Size each bucket up front: a merged pair otherwise grows its
+    // bucket twice (allocate-copy-free per contract level adds up on
+    // the compile hot path).
+    std::vector<std::size_t> bucketSize(next, 0);
+    for (int v = 0; v < n; ++v)
+        bucketSize[newId[v]] += level.members[v].size();
+    for (int m = 0; m < next; ++m)
+        out.members[m].reserve(bucketSize[m]);
     for (int v = 0; v < n; ++v) {
         auto &bucket = out.members[newId[v]];
         bucket.insert(bucket.end(), level.members[v].begin(),
@@ -68,29 +119,31 @@ CoarseningHierarchy::contract(const CoarseLevel &level,
     for (std::size_t orig = 0; orig < level.coarseOf.size(); ++orig)
         out.coarseOf[orig] = newId[level.coarseOf[orig]];
 
-    std::map<std::pair<int, int>, std::int64_t> combined;
+    ArenaVector<CombEdge> comb(arena);
+    comb.reserve(level.edges.size());
     for (const auto &e : level.edges) {
         int a = newId[e.a];
         int b = newId[e.b];
         if (a == b)
             continue; // became internal
-        combined[{std::min(a, b), std::max(a, b)}] += e.weight;
+        comb.push_back(
+            CombEdge{std::min(a, b), std::max(a, b), e.weight});
     }
-    for (const auto &[key, weight] : combined)
-        out.edges.push_back(MatchEdge{key.first, key.second, weight});
+    combineEdges(comb, out.edges);
     return out;
 }
 
 CoarseningHierarchy::CoarseningHierarchy(
     const Ddg &ddg, const std::vector<std::int64_t> &edge_weights,
-    int target_nodes, MatchingPolicy policy, Rng &rng)
+    int target_nodes, MatchingPolicy policy, Rng &rng,
+    CompileArena *arena)
 {
     GPSCHED_ASSERT(static_cast<int>(edge_weights.size()) ==
                        ddg.numEdges(),
                    "edge weight vector size mismatch");
     GPSCHED_ASSERT(target_nodes >= 1, "bad coarsening target");
 
-    levels_.push_back(buildFinestLevel(ddg, edge_weights));
+    levels_.push_back(buildFinestLevel(ddg, edge_weights, arena));
 
     while (levels_.back().numNodes() > target_nodes) {
         const CoarseLevel &level = levels_.back();
@@ -138,7 +191,7 @@ CoarseningHierarchy::CoarseningHierarchy(
             pairOf[bySize[1]] = bySize[0];
         }
 
-        levels_.push_back(contract(level, pairOf));
+        levels_.push_back(contract(level, pairOf, arena));
         GPSCHED_ASSERT(levels_.back().numNodes() <
                            levels_[levels_.size() - 2].numNodes(),
                        "coarsening made no progress");

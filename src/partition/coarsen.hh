@@ -25,6 +25,8 @@
 namespace gpsched
 {
 
+class CompileArena;
+
 /** One level of the coarsening hierarchy. */
 struct CoarseLevel
 {
@@ -56,11 +58,14 @@ class CoarseningHierarchy
      * @param edge_weights per-original-edge weight (Section 3.2.1)
      * @param policy matching policy for each step
      * @param rng randomness source (RandomMaximal policy only)
+     * @param arena optional per-compile arena for coarsening scratch
+     *        (edge-combining buffers); must outlive the constructor
+     *        call only — the hierarchy itself stays heap-backed.
      */
     CoarseningHierarchy(const Ddg &ddg,
                         const std::vector<std::int64_t> &edge_weights,
                         int target_nodes, MatchingPolicy policy,
-                        Rng &rng);
+                        Rng &rng, CompileArena *arena = nullptr);
 
     /** levels()[0] is the original graph; back() is the coarsest. */
     const std::vector<CoarseLevel> &levels() const { return levels_; }
@@ -72,9 +77,11 @@ class CoarseningHierarchy
     std::vector<CoarseLevel> levels_;
 
     static CoarseLevel buildFinestLevel(
-        const Ddg &ddg, const std::vector<std::int64_t> &edge_weights);
+        const Ddg &ddg, const std::vector<std::int64_t> &edge_weights,
+        CompileArena *arena);
     static CoarseLevel contract(const CoarseLevel &level,
-                                const std::vector<int> &pair_of);
+                                const std::vector<int> &pair_of,
+                                CompileArena *arena);
 };
 
 } // namespace gpsched

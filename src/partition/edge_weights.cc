@@ -80,9 +80,15 @@ edgeDelay(const Ddg &ddg, const LatencyTable &latencies, EdgeId e,
 std::vector<std::int64_t>
 computeEdgeWeights(const Ddg &ddg, const LatencyTable &latencies,
                    int ii, int bus_latency,
-                   const EdgeWeightOptions &options)
+                   const EdgeWeightOptions &options,
+                   const SccDecomposition *shared_sccs)
 {
-    SccDecomposition sccs = computeSccs(ddg);
+    SccDecomposition own_sccs;
+    if (!shared_sccs) {
+        own_sccs = computeSccs(ddg);
+        shared_sccs = &own_sccs;
+    }
+    const SccDecomposition &sccs = *shared_sccs;
     DdgAnalysis base(ddg, latencies, ii, nullptr, &sccs);
     GPSCHED_ASSERT(base.feasible(),
                    "edge weights requested at infeasible II ", ii);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <climits>
 #include <limits>
+#include <optional>
 
 #include "graph/ddg_analysis.hh"
 #include "sched/lifetime.hh"
@@ -13,12 +14,19 @@ namespace gpsched
 
 PartitionEstimator::PartitionEstimator(const Ddg &ddg,
                                        const MachineConfig &machine,
-                                       int ii, bool register_aware)
+                                       int ii, bool register_aware,
+                                       const SccDecomposition *sccs)
     : ddg_(ddg), machine_(machine), ii_(ii),
-      registerAware_(register_aware), sccs_(computeSccs(ddg)),
+      registerAware_(register_aware),
       extraScratch_(ddg.numEdges(), 0)
 {
     GPSCHED_ASSERT(ii >= 1, "estimator needs II >= 1");
+    if (sccs) {
+        sccs_ = sccs;
+    } else {
+        ownSccs_ = computeSccs(ddg);
+        sccs_ = &ownSccs_;
+    }
 }
 
 int
@@ -96,7 +104,8 @@ PartitionEstimator::evaluate(const Partition &partition) const
     // needed for both the overload test and the per-cluster ResMII.
     const int clusters = machine_.numClusters();
     const LatencyTable &lat = machine_.latencies();
-    std::vector<int> occ(clusters * numFuClasses, 0);
+    occScratch_.assign(clusters * numFuClasses, 0);
+    std::vector<int> &occ = occScratch_;
     for (NodeId v = 0; v < ddg_.numNodes(); ++v) {
         Opcode op = ddg_.node(v).opcode;
         occ[partition.clusterOf(v) * numFuClasses +
@@ -129,39 +138,46 @@ PartitionEstimator::evaluate(const Partition &partition) const
     }
 
     est.iiBus = iiBusBound(ddg_, partition, machine_);
-    est.cutEdges = numCutEdges(ddg_, partition);
 
     // Communication delays on cut flow edges: the bus-class cost
     // model charges a cut value the capacity-weighted expected
     // latency of the fabric (exactly the class latency on
     // single-class machines). Hoisted: evaluate() is the refinement
-    // hot path and the machine never changes.
+    // hot path and the machine never changes. The cut-edge count
+    // rides the same pass (it was a separate identical scan).
     const int comm_latency = machine_.expectedBusLatency();
     std::vector<int> &extra = extraScratch_;
     std::fill(extra.begin(), extra.end(), 0);
     for (EdgeId e = 0; e < ddg_.numEdges(); ++e) {
         const auto &edge = ddg_.edge(e);
-        if (edge.isFlow() && partition.clusterOf(edge.src) !=
-                                 partition.clusterOf(edge.dst)) {
+        if (partition.clusterOf(edge.src) ==
+            partition.clusterOf(edge.dst))
+            continue;
+        ++est.cutEdges;
+        if (edge.isFlow())
             extra[e] = comm_latency;
-        }
     }
 
     int start = std::max({ii_, est.iiBus, res_mii});
     // Cut edges inside recurrences can force the II above the input;
     // scan a few steps before falling back to a full RecMII search.
+    // The successful probe *is* the final analysis — rebuilding it at
+    // iiFeas would redo identical work (this path is the refinement
+    // hot loop's unit cost).
+    std::optional<DdgAnalysis> analysisStorage;
     int iiFeas = -1;
     for (int ii = start; ii <= start + 4; ++ii) {
-        DdgAnalysis probe(ddg_, lat, ii, &extra, &sccs_);
-        if (probe.feasible()) {
+        analysisStorage.emplace(ddg_, lat, ii, &extra, sccs_);
+        if (analysisStorage->feasible()) {
             iiFeas = ii;
             break;
         }
     }
-    if (iiFeas == -1)
+    if (iiFeas == -1) {
         iiFeas = std::max(start, recMii(ddg_, &extra));
-
-    DdgAnalysis analysis(ddg_, lat, iiFeas, &extra, &sccs_);
+        analysisStorage.emplace(ddg_, lat, iiFeas, &extra, sccs_);
+    }
+    const DdgAnalysis &analysis = *analysisStorage;
     GPSCHED_ASSERT(analysis.feasible(), "estimator analysis infeasible");
 
     est.iiEff = iiFeas;

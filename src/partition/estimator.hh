@@ -90,9 +90,14 @@ class PartitionEstimator
      *        evaluates the partitioner *without* this heuristic and
      *        names it as future work (Section 4.2); it is off by
      *        default.
+     * @param sccs optional precomputed SCC decomposition of @p ddg
+     *        (must outlive the estimator). The partitioner builds
+     *        several estimators per run over one immutable graph;
+     *        sharing the decomposition avoids repeating Tarjan.
      */
     PartitionEstimator(const Ddg &ddg, const MachineConfig &machine,
-                       int ii, bool register_aware = false);
+                       int ii, bool register_aware = false,
+                       const SccDecomposition *sccs = nullptr);
 
     /** Full estimate of @p partition. */
     PartitionEstimate evaluate(const Partition &partition) const;
@@ -119,11 +124,17 @@ class PartitionEstimator
     int ii_;
     bool registerAware_;
 
-    /** Cached SCC decomposition (the graph never changes). */
-    SccDecomposition sccs_;
+    /** Own SCC decomposition; empty when the caller shared one. */
+    SccDecomposition ownSccs_;
+
+    /** Decomposition in use: &ownSccs_ or the caller's. */
+    const SccDecomposition *sccs_;
 
     /** Scratch per-edge communication delays, reused per evaluate. */
     mutable std::vector<int> extraScratch_;
+
+    /** Scratch (cluster, FU class) occupancy, reused per evaluate. */
+    mutable std::vector<int> occScratch_;
 
     /** Occupancy of ops of @p cls assigned to @p cluster. */
     int occupancy(const Partition &partition, int cluster,

@@ -94,7 +94,7 @@ GpPartitioner::assignCapacityBalanced(const Ddg &ddg,
 }
 
 GpPartitionResult
-GpPartitioner::run(const Ddg &ddg, int ii) const
+GpPartitioner::run(const Ddg &ddg, int ii, CompileArena *arena) const
 {
     GPSCHED_ASSERT(ii >= 1, "partitioner needs II >= 1");
     const int clusters = machine_.numClusters();
@@ -109,6 +109,11 @@ GpPartitioner::run(const Ddg &ddg, int ii) const
         return result;
     }
 
+    // The graph never changes within a run, so one SCC decomposition
+    // serves the edge weights, the refiner's estimator and the final
+    // estimate (Tarjan three times per run showed up in profiles).
+    const SccDecomposition sccs = computeSccs(ddg);
+
     // --- 1. edge weights at the input II -----------------------------
     // Heterogeneous bus fabrics weight cut edges by the expected
     // (capacity-weighted mean) bus latency, matching the estimator's
@@ -117,7 +122,7 @@ GpPartitioner::run(const Ddg &ddg, int ii) const
     std::vector<std::int64_t> weights =
         computeEdgeWeights(ddg, machine_.latencies(), ii,
                            machine_.expectedBusLatency(),
-                           options_.edgeWeights);
+                           options_.edgeWeights, &sccs);
 
     // --- 2. coarsen ---------------------------------------------------
     Rng rng(options_.seed);
@@ -125,7 +130,7 @@ GpPartitioner::run(const Ddg &ddg, int ii) const
     {
         GPSCHED_PHASE_SPAN(Coarsen);
         hierarchyStorage.emplace(ddg, weights, clusters,
-                                 options_.matching, rng);
+                                 options_.matching, rng, arena);
     }
     const CoarseningHierarchy &hierarchy = *hierarchyStorage;
 
@@ -179,7 +184,7 @@ GpPartitioner::run(const Ddg &ddg, int ii) const
         RefineOptions refine_options = options_.refine;
         refine_options.registerAware |= options_.registerAware;
         PartitionRefiner refiner(ddg, machine_, ii, weights,
-                                 refine_options);
+                                 refine_options, arena, &sccs);
         const auto &levels = hierarchy.levels();
         for (auto it = levels.rbegin(); it != levels.rend(); ++it)
             refiner.refineLevel(*it, partition);
@@ -187,7 +192,7 @@ GpPartitioner::run(const Ddg &ddg, int ii) const
 
     GpPartitionResult result{partition, 0, {}};
     PartitionEstimator estimator(ddg, machine_, ii,
-                                 options_.registerAware);
+                                 options_.registerAware, &sccs);
     result.estimate = estimator.evaluate(partition);
     result.iiBus = result.estimate.iiBus;
     return result;

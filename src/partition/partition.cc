@@ -1,7 +1,7 @@
 #include "partition/partition.hh"
 
 #include <algorithm>
-#include <set>
+#include <cstdint>
 
 #include "support/logging.hh"
 
@@ -16,22 +16,6 @@ Partition::Partition(int num_nodes, int num_clusters, int initial)
     GPSCHED_ASSERT(initial >= 0 && initial < num_clusters,
                    "bad initial cluster ", initial);
     clusterOf_.assign(num_nodes, initial);
-}
-
-int
-Partition::clusterOf(NodeId v) const
-{
-    GPSCHED_ASSERT(v >= 0 && v < numNodes(), "bad node ", v);
-    return clusterOf_[v];
-}
-
-void
-Partition::assign(NodeId v, int cluster)
-{
-    GPSCHED_ASSERT(v >= 0 && v < numNodes(), "bad node ", v);
-    GPSCHED_ASSERT(cluster >= 0 && cluster < numClusters_,
-                   "bad cluster ", cluster);
-    clusterOf_[v] = cluster;
 }
 
 std::vector<NodeId>
@@ -62,18 +46,42 @@ numCutEdges(const Ddg &ddg, const Partition &partition)
 int
 numCommunications(const Ddg &ddg, const Partition &partition)
 {
+    // Counts distinct (producer, dest cluster) pairs. Called once per
+    // estimator evaluation, i.e. per refinement candidate — a
+    // per-node std::set here dominated the evaluation's allocation
+    // profile, so small machines use a bitmask and wide ones a
+    // stamped flag array (one allocation per call, not per node).
     int comms = 0;
+    const int clusters = partition.numClusters();
+    if (clusters <= 64) {
+        for (NodeId v = 0; v < ddg.numNodes(); ++v) {
+            std::uint64_t mask = 0;
+            const int home = partition.clusterOf(v);
+            for (EdgeId e : ddg.outEdges(v)) {
+                const auto &edge = ddg.edge(e);
+                if (!edge.isFlow())
+                    continue;
+                int dstCluster = partition.clusterOf(edge.dst);
+                if (dstCluster != home)
+                    mask |= std::uint64_t{1} << dstCluster;
+            }
+            comms += __builtin_popcountll(mask);
+        }
+        return comms;
+    }
+    std::vector<NodeId> stamp(clusters, -1);
     for (NodeId v = 0; v < ddg.numNodes(); ++v) {
-        std::set<int> destClusters;
+        const int home = partition.clusterOf(v);
         for (EdgeId e : ddg.outEdges(v)) {
             const auto &edge = ddg.edge(e);
             if (!edge.isFlow())
                 continue;
             int dstCluster = partition.clusterOf(edge.dst);
-            if (dstCluster != partition.clusterOf(v))
-                destClusters.insert(dstCluster);
+            if (dstCluster != home && stamp[dstCluster] != v) {
+                stamp[dstCluster] = v;
+                ++comms;
+            }
         }
-        comms += static_cast<int>(destClusters.size());
     }
     return comms;
 }

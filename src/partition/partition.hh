@@ -14,6 +14,7 @@
 
 #include "graph/ddg.hh"
 #include "machine/machine.hh"
+#include "support/logging.hh"
 
 namespace gpsched
 {
@@ -34,11 +35,24 @@ class Partition
         return static_cast<int>(clusterOf_.size());
     }
 
-    /** Cluster of @p v. */
-    int clusterOf(NodeId v) const;
+    /** Cluster of @p v. Inline: the single hottest read of the
+     *  refinement and estimation loops. */
+    int
+    clusterOf(NodeId v) const
+    {
+        GPSCHED_ASSERT(v >= 0 && v < numNodes(), "bad node ", v);
+        return clusterOf_[v];
+    }
 
     /** Reassigns @p v to @p cluster. */
-    void assign(NodeId v, int cluster);
+    void
+    assign(NodeId v, int cluster)
+    {
+        GPSCHED_ASSERT(v >= 0 && v < numNodes(), "bad node ", v);
+        GPSCHED_ASSERT(cluster >= 0 && cluster < numClusters_,
+                       "bad cluster ", cluster);
+        clusterOf_[v] = cluster;
+    }
 
     /** Nodes currently mapped to @p cluster. */
     std::vector<NodeId> nodesIn(int cluster) const;

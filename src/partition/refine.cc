@@ -25,10 +25,12 @@ struct Change
 PartitionRefiner::PartitionRefiner(
     const Ddg &ddg, const MachineConfig &machine, int ii,
     const std::vector<std::int64_t> &static_weights,
-    RefineOptions options)
+    RefineOptions options, CompileArena *arena,
+    const SccDecomposition *sccs)
     : ddg_(ddg), machine_(machine), ii_(ii),
       staticWeights_(static_weights), options_(options),
-      estimator_(ddg, machine, ii, options.registerAware)
+      estimator_(ddg, machine, ii, options.registerAware, sccs),
+      macroOcc_(arena), clusterOcc_(arena)
 {
     GPSCHED_ASSERT(static_cast<int>(static_weights.size()) ==
                        ddg.numEdges(),
@@ -51,17 +53,36 @@ PartitionRefiner::computeMacroOccupancy(const CoarseLevel &level) const
     }
 }
 
+void
+PartitionRefiner::computeClusterOccupancy(
+    const Partition &partition) const
+{
+    const LatencyTable &lat = machine_.latencies();
+    clusterOcc_.assign(static_cast<std::size_t>(
+                           machine_.numClusters()) *
+                           numFuClasses,
+                       0);
+    for (NodeId v = 0; v < ddg_.numNodes(); ++v) {
+        Opcode op = ddg_.node(v).opcode;
+        clusterOcc_[static_cast<std::size_t>(
+                        partition.clusterOf(v)) *
+                        numFuClasses +
+                    static_cast<int>(fuClassOf(op))] +=
+            lat.occupancy(op);
+    }
+}
+
 int
 PartitionRefiner::macroCluster(const CoarseLevel &level, int macro,
                                const Partition &partition) const
 {
+    // O(1) by invariant: every member of a macro-node shares one
+    // cluster (moveMacro moves them together). The full straddle
+    // check runs once per level in refineLevel — this accessor is
+    // called per candidate inside the refinement loops, where the
+    // old every-member verification walk dominated the profile.
     GPSCHED_ASSERT(!level.members[macro].empty(), "empty macro-node");
-    int cluster = partition.clusterOf(level.members[macro][0]);
-    for (NodeId v : level.members[macro]) {
-        GPSCHED_ASSERT(partition.clusterOf(v) == cluster,
-                       "macro-node straddles clusters");
-    }
-    return cluster;
+    return partition.clusterOf(level.members[macro][0]);
 }
 
 void
@@ -106,16 +127,10 @@ PartitionRefiner::runBalancePass(const CoarseLevel &level,
                                  int &budget) const
 {
     const int clusters = machine_.numClusters();
-    const LatencyTable &lat = machine_.latencies();
 
     // (cluster, class) occupancy bookkeeping.
-    std::vector<std::vector<int>> occ(
-        clusters, std::vector<int>(numFuClasses, 0));
-    for (NodeId v = 0; v < ddg_.numNodes(); ++v) {
-        Opcode op = ddg_.node(v).opcode;
-        occ[partition.clusterOf(v)][static_cast<int>(fuClassOf(op))] +=
-            lat.occupancy(op);
-    }
+    computeClusterOccupancy(partition);
+    int *const occ = clusterOcc_.data();
     auto slots = [&](int c, int k) {
         return machine_.fuInCluster(c, static_cast<FuClass>(k)) * ii_;
     };
@@ -133,9 +148,10 @@ PartitionRefiner::runBalancePass(const CoarseLevel &level,
                 int s = slots(c, k);
                 // A class the cluster lacks entirely is infinitely
                 // saturated the moment anything is assigned to it.
+                int o = occ[c * numFuClasses + k];
                 double ratio =
-                    s == 0 ? (occ[c][k] > 0 ? 1e9 : 0.0)
-                           : static_cast<double>(occ[c][k]) /
+                    s == 0 ? (o > 0 ? 1e9 : 0.0)
+                           : static_cast<double>(o) /
                                  static_cast<double>(s);
                 if (ratio > bestRatio) {
                     bestRatio = ratio;
@@ -168,13 +184,15 @@ PartitionRefiner::runBalancePass(const CoarseLevel &level,
                     continue;
                 // Must not overload this resource in c2, nor any
                 // resource already considered (more critical).
-                bool ok = occ[c2][bestK] + mocc <= slots(c2, bestK);
+                bool ok = occ[c2 * numFuClasses + bestK] + mocc <=
+                          slots(c2, bestK);
                 for (int k = 0; ok && k < numFuClasses; ++k) {
                     if (!considered[k] || k == bestK)
                         continue;
                     int mk = macroOccupancy(
                         m, static_cast<FuClass>(k));
-                    ok = occ[c2][k] + mk <= slots(c2, k);
+                    ok = occ[c2 * numFuClasses + k] + mk <=
+                         slots(c2, k);
                 }
                 if (!ok)
                     continue;
@@ -195,8 +213,8 @@ PartitionRefiner::runBalancePass(const CoarseLevel &level,
         for (int k = 0; k < numFuClasses; ++k) {
             int mk =
                 macroOccupancy(moveMacroIdx, static_cast<FuClass>(k));
-            occ[bestC][k] -= mk;
-            occ[moveDest][k] += mk;
+            occ[bestC * numFuClasses + k] -= mk;
+            occ[moveDest * numFuClasses + k] += mk;
         }
         moveMacro(level, moveMacroIdx, moveDest, partition);
         changedAny = true;
@@ -211,7 +229,6 @@ PartitionRefiner::runEdgeImpactPass(const CoarseLevel &level,
                                     int &budget) const
 {
     const int clusters = machine_.numClusters();
-    const LatencyTable &lat = machine_.latencies();
     bool changedAny = false;
 
     PartitionEstimate current = estimator_.evaluate(partition);
@@ -224,31 +241,29 @@ PartitionRefiner::runEdgeImpactPass(const CoarseLevel &level,
     // in sync incrementally as changes are applied (rebuilding it —
     // and reallocating its rows — every round dominated this pass's
     // profile on large loops).
-    std::vector<std::vector<int>> occ(
-        clusters, std::vector<int>(numFuClasses, 0));
-    for (NodeId v = 0; v < ddg_.numNodes(); ++v) {
-        Opcode op = ddg_.node(v).opcode;
-        occ[partition.clusterOf(v)][static_cast<int>(fuClassOf(op))] +=
-            lat.occupancy(op);
-    }
+    computeClusterOccupancy(partition);
+    int *const occ = clusterOcc_.data();
     auto applyToOcc = [&](int macro, int from, int to) {
         for (int k = 0; k < numFuClasses; ++k) {
             int mk = macroOccupancy(macro, static_cast<FuClass>(k));
-            occ[from][k] -= mk;
-            occ[to][k] += mk;
+            occ[from * numFuClasses + k] -= mk;
+            occ[to * numFuClasses + k] += mk;
         }
     };
 
     std::vector<Change> candidates;
     std::vector<bool> isNeighbour(
         static_cast<std::size_t>(clusters), false);
+    // Reused across rounds and candidates so each exact evaluation
+    // assigns into existing capacity instead of allocating a copy.
+    Partition trial(partition.numNodes(), partition.numClusters());
 
     while (budget > 0) {
         auto moveFits = [&](int macro, int from, int to) {
             for (int k = 0; k < numFuClasses; ++k) {
                 int mk =
                     macroOccupancy(macro, static_cast<FuClass>(k));
-                if (occ[to][k] + mk > slotOf(to, k))
+                if (occ[to * numFuClasses + k] + mk > slotOf(to, k))
                     return false;
                 (void)from;
             }
@@ -260,9 +275,11 @@ PartitionRefiner::runEdgeImpactPass(const CoarseLevel &level,
                 FuClass cls = static_cast<FuClass>(k);
                 int ak = macroOccupancy(ma, cls);
                 int bk = macroOccupancy(mb, cls);
-                if (occ[cb][k] - bk + ak > slotOf(cb, k))
+                if (occ[cb * numFuClasses + k] - bk + ak >
+                    slotOf(cb, k))
                     return false;
-                if (occ[ca][k] - ak + bk > slotOf(ca, k))
+                if (occ[ca * numFuClasses + k] - ak + bk >
+                    slotOf(ca, k))
                     return false;
             }
             return true;
@@ -361,7 +378,7 @@ PartitionRefiner::runEdgeImpactPass(const CoarseLevel &level,
         Change bestChange;
         PartitionEstimate bestEst;
         for (const Change &cand : candidates) {
-            Partition trial = partition;
+            trial = partition;
             moveMacro(level, cand.macroA, cand.destA, trial);
             if (cand.macroB != -1)
                 moveMacro(level, cand.macroB, cand.destB, trial);
@@ -419,6 +436,17 @@ void
 PartitionRefiner::refineLevel(const CoarseLevel &level,
                               Partition &partition) const
 {
+    // Per-level straddle verification (once; macroCluster relies on
+    // it holding throughout the level).
+    for (int m = 0; m < level.numNodes(); ++m) {
+        if (level.members[m].empty())
+            continue;
+        int cluster = partition.clusterOf(level.members[m][0]);
+        for (NodeId v : level.members[m]) {
+            GPSCHED_ASSERT(partition.clusterOf(v) == cluster,
+                           "macro-node straddles clusters");
+        }
+    }
     computeMacroOccupancy(level);
     int budget = options_.maxChangesPerLevel > 0
                      ? options_.maxChangesPerLevel

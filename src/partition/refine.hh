@@ -40,6 +40,7 @@
 #include "partition/coarsen.hh"
 #include "partition/estimator.hh"
 #include "partition/partition.hh"
+#include "support/arena.hh"
 
 namespace gpsched
 {
@@ -69,11 +70,18 @@ class PartitionRefiner
      * @param static_weights per-original-edge Section-3.2.1 weights
      *        (the cheap gain proxy); references must outlive the
      *        refiner.
+     * @param arena optional per-compile arena for the refiner's
+     *        scratch tables; must outlive the refiner (null = heap).
+     * @param sccs optional precomputed SCC decomposition of @p ddg,
+     *        shared with the refiner's estimator (null = the
+     *        estimator computes its own).
      */
     PartitionRefiner(const Ddg &ddg, const MachineConfig &machine,
                      int ii,
                      const std::vector<std::int64_t> &static_weights,
-                     RefineOptions options = {});
+                     RefineOptions options = {},
+                     CompileArena *arena = nullptr,
+                     const SccDecomposition *sccs = nullptr);
 
     /**
      * Runs both passes on @p partition, moving whole macro-nodes of
@@ -96,7 +104,17 @@ class PartitionRefiner
      * within a level) so the passes' inner loops read a table
      * instead of re-walking member lists.
      */
-    mutable std::vector<int> macroOcc_;
+    mutable ArenaVector<int> macroOcc_;
+
+    /**
+     * Pass-local (cluster, FU class) occupancy table, flattened
+     * cluster-major; reused across passes and levels so the steady
+     * state allocates nothing.
+     */
+    mutable ArenaVector<int> clusterOcc_;
+
+    /** Fills clusterOcc_ from @p partition. */
+    void computeClusterOccupancy(const Partition &partition) const;
 
     /** Fills macroOcc_ for @p level. */
     void computeMacroOccupancy(const CoarseLevel &level) const;

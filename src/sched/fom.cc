@@ -9,29 +9,23 @@
 namespace gpsched
 {
 
-void
-FigureOfMerit::addComponent(double percentage)
-{
-    GPSCHED_ASSERT(percentage >= 0.0,
-                   "negative figure-of-merit component");
-    components_.push_back(percentage);
-}
-
 double
 FigureOfMerit::sum() const
 {
+    const double *c = data();
     double total = 0.0;
-    for (double c : components_)
-        total += c;
+    for (std::size_t i = 0; i < size_; ++i)
+        total += c[i];
     return total;
 }
 
 double
 FigureOfMerit::maxComponent() const
 {
+    const double *c = data();
     double best = 0.0;
-    for (double c : components_)
-        best = std::max(best, c);
+    for (std::size_t i = 0; i < size_; ++i)
+        best = std::max(best, c[i]);
     return best;
 }
 
@@ -42,11 +36,27 @@ FigureOfMerit::better(const FigureOfMerit &a, const FigureOfMerit &b,
     GPSCHED_ASSERT(a.size() == b.size(),
                    "figure-of-merit arity mismatch: ", a.size(),
                    " vs ", b.size());
-    std::vector<double> sa = a.components_;
-    std::vector<double> sb = b.components_;
-    std::sort(sa.rbegin(), sa.rend());
-    std::sort(sb.rbegin(), sb.rend());
-    for (std::size_t i = 0; i < sa.size(); ++i) {
+    const std::size_t n = a.size();
+    // Stack copies for the sort: better() runs once per candidate
+    // cluster inside the scheduler's placement loop, and the figures
+    // fit the inline buffer on every realistic machine.
+    double sa_buf[kInline];
+    double sb_buf[kInline];
+    std::vector<double> sa_heap, sb_heap;
+    double *sa = sa_buf;
+    double *sb = sb_buf;
+    if (n > kInline) {
+        sa_heap.assign(a.data(), a.data() + n);
+        sb_heap.assign(b.data(), b.data() + n);
+        sa = sa_heap.data();
+        sb = sb_heap.data();
+    } else {
+        std::copy(a.data(), a.data() + n, sa);
+        std::copy(b.data(), b.data() + n, sb);
+    }
+    std::sort(sa, sa + n, std::greater<double>());
+    std::sort(sb, sb + n, std::greater<double>());
+    for (std::size_t i = 0; i < n; ++i) {
         if (std::abs(sa[i] - sb[i]) > threshold)
             return sa[i] < sb[i];
     }
@@ -56,12 +66,13 @@ FigureOfMerit::better(const FigureOfMerit &a, const FigureOfMerit &b,
 std::string
 FigureOfMerit::toString() const
 {
+    const double *c = data();
     std::ostringstream oss;
     oss << "[";
-    for (std::size_t i = 0; i < components_.size(); ++i) {
+    for (std::size_t i = 0; i < size_; ++i) {
         if (i)
             oss << ", ";
-        oss << components_[i];
+        oss << c[i];
     }
     oss << "]";
     return oss.str();

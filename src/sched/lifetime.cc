@@ -8,26 +8,28 @@
 namespace gpsched
 {
 
-LifetimeTracker::LifetimeTracker(int num_regs, int ii)
-    : numRegs_(num_regs)
+LifetimeTracker::LifetimeTracker(int num_regs, int ii,
+                                 CompileArena *arena)
+    : numRegs_(num_regs), ii_(ii), live_(arena), scratch_(arena)
 {
     GPSCHED_ASSERT(num_regs >= 0, "negative register count");
     GPSCHED_ASSERT(ii >= 1, "II must be >= 1");
-    live_.assign(ii, 0);
+    live_.assign(static_cast<std::size_t>(ii), 0);
 }
 
 void
-LifetimeTracker::cover(const LiveSegment &seg, std::vector<int> &counts,
+LifetimeTracker::cover(const LiveSegment &seg, int *counts, int ii,
                        int delta)
 {
     GPSCHED_ASSERT(seg.to >= seg.from, "bad segment [", seg.from, ",",
                    seg.to, "]");
-    const int ii = static_cast<int>(counts.size());
     int len = seg.length();
     int full = len / ii;
     int rem = len % ii;
-    for (int s = 0; s < ii; ++s)
-        counts[s] += delta * full;
+    if (full > 0) {
+        for (int s = 0; s < ii; ++s)
+            counts[s] += delta * full;
+    }
     for (int i = 0; i < rem; ++i)
         counts[wrapSlot(seg.from + i, ii)] += delta;
 }
@@ -35,7 +37,7 @@ LifetimeTracker::cover(const LiveSegment &seg, std::vector<int> &counts,
 void
 LifetimeTracker::apply(const LiveSegment &seg, int delta)
 {
-    cover(seg, live_, delta);
+    cover(seg, live_.data(), ii_, delta);
     used_ += delta * seg.length();
 }
 
@@ -49,8 +51,19 @@ void
 LifetimeTracker::remove(const LiveSegment &seg)
 {
     apply(seg, -1);
-    for (int count : live_)
-        GPSCHED_ASSERT(count >= 0, "negative live count after remove");
+    // A count can only have gone negative at a slot the removed
+    // segment covered, so the check needs no full-kernel scan
+    // unless the segment wrapped all the way around.
+    if (seg.length() >= ii_) {
+        for (int count : live_)
+            GPSCHED_ASSERT(count >= 0,
+                           "negative live count after remove");
+    } else {
+        for (int i = 0; i < seg.length(); ++i) {
+            GPSCHED_ASSERT(live_[wrapSlot(seg.from + i, ii_)] >= 0,
+                           "negative live count after remove");
+        }
+    }
 }
 
 bool
@@ -58,14 +71,15 @@ LifetimeTracker::fitsWithDiff(
     const std::vector<LiveSegment> &removed,
     const std::vector<LiveSegment> &added) const
 {
-    std::vector<int> counts = live_;
+    scratch_.assign(live_.data(), live_.size());
+    int *counts = scratch_.data();
     for (const auto &seg : removed)
-        cover(seg, counts, -1);
+        cover(seg, counts, ii_, -1);
     for (const auto &seg : added)
-        cover(seg, counts, 1);
-    for (int count : counts) {
-        GPSCHED_ASSERT(count >= 0, "diff removes unknown coverage");
-        if (count > numRegs_)
+        cover(seg, counts, ii_, 1);
+    for (int s = 0; s < ii_; ++s) {
+        GPSCHED_ASSERT(counts[s] >= 0, "diff removes unknown coverage");
+        if (counts[s] > numRegs_)
             return false;
     }
     return true;
@@ -81,7 +95,7 @@ LifetimeTracker::maxLive() const
 int
 LifetimeTracker::liveAt(int cycle) const
 {
-    return live_[wrapSlot(cycle, static_cast<int>(live_.size()))];
+    return live_[wrapSlot(cycle, ii_)];
 }
 
 } // namespace gpsched

@@ -16,6 +16,8 @@
 
 #include <vector>
 
+#include "support/arena.hh"
+
 namespace gpsched
 {
 
@@ -34,8 +36,13 @@ struct LiveSegment
 class LifetimeTracker
 {
   public:
-    /** @param num_regs register-file size; @param ii kernel length. */
-    LifetimeTracker(int num_regs, int ii);
+    /**
+     * @param num_regs register-file size; @param ii kernel length;
+     * @param arena optional per-compile backing store for the count
+     *        tables (null = heap).
+     */
+    LifetimeTracker(int num_regs, int ii,
+                    CompileArena *arena = nullptr);
 
     /** Adds a live segment. */
     void add(const LiveSegment &seg);
@@ -60,24 +67,29 @@ class LifetimeTracker
     int usedRegCycles() const { return used_; }
 
     /** Register-cycles available per kernel iteration. */
-    int capacity() const
-    {
-        return numRegs_ * static_cast<int>(live_.size());
-    }
+    int capacity() const { return numRegs_ * ii_; }
 
     /** Register file size. */
     int numRegs() const { return numRegs_; }
 
   private:
     int numRegs_;
+    int ii_;
     int used_ = 0;
-    std::vector<int> live_;
+    ArenaVector<int> live_;
+
+    /**
+     * fitsWithDiff() working copy (mutable: the query is pure).
+     * Reassigned, never shrunk, per call; single-threaded like the
+     * schedule that owns the tracker.
+     */
+    mutable ArenaVector<int> scratch_;
 
     /** Applies +delta to every slot covered by @p seg. */
     void apply(const LiveSegment &seg, int delta);
 
     /** Adds segment coverage of @p seg into @p counts. */
-    static void cover(const LiveSegment &seg, std::vector<int> &counts,
+    static void cover(const LiveSegment &seg, int *counts, int ii,
                       int delta);
 };
 

@@ -12,15 +12,32 @@
  * multi-cycle ops, exact for pipelined ones) modulo-scheduling
  * resource model. Flat cycles may be negative; slots use Euclidean
  * modulo.
+ *
+ * Representation: word-packed multiplicity planes instead of a
+ * per-slot counter array. Plane l is a bitset over the II kernel
+ * slots (ceil(II/64) words) whose bit s is set iff slot s has more
+ * than l busy units, so the planes are nested (plane 0 ⊇ plane 1 ⊇
+ * ...) and the per-slot count is the number of planes covering the
+ * slot. canReserve is a mask-AND against the top plane (a slot has
+ * a free unit iff its top-plane bit is clear), reserve/release are
+ * word-parallel carry walks across the planes, and firstFit scans
+ * whole 64-slot words for a free start slot. Pool sizes of the
+ * Table-1 machines are <= 8 and II rarely exceeds a few dozen, so
+ * the whole table fits the inline word buffer and copying a table
+ * (the findSlot probe) is a small memcpy instead of a heap
+ * allocation.
  */
 
 #ifndef GPSCHED_SCHED_MRT_HH
 #define GPSCHED_SCHED_MRT_HH
 
+#include <cstdint>
 #include <vector>
 
 namespace gpsched
 {
+
+class CompileArena;
 
 /** Euclidean modulo: result always in [0, m). */
 inline int
@@ -34,17 +51,35 @@ wrapSlot(int cycle, int m)
 class ModuloReservationTable
 {
   public:
-    /** @param num_units pool size; @param ii kernel length. */
-    ModuloReservationTable(int num_units, int ii);
+    /**
+     * @param num_units pool size; @param ii kernel length;
+     * @param arena optional backing for tables too large for the
+     *        inline buffer (per-compile arena; null = heap).
+     */
+    ModuloReservationTable(int num_units, int ii,
+                           CompileArena *arena = nullptr);
+
+    ModuloReservationTable(const ModuloReservationTable &other);
+    ModuloReservationTable &
+    operator=(const ModuloReservationTable &other);
 
     /** True when @p occupancy slots starting at @p cycle fit. */
     bool canReserve(int cycle, int occupancy) const;
 
-    /** Reserves; caller must have checked canReserve. */
+    /** Reserves; panics (one pass, no pre-check) when it cannot. */
     void reserve(int cycle, int occupancy);
 
     /** Releases a prior reservation. */
     void release(int cycle, int occupancy);
+
+    /**
+     * First cycle c scanning @p from towards @p to (inclusive,
+     * either direction) with canReserve(c, @p occupancy); INT_MIN
+     * when none. Equivalent to the per-cycle canReserve scan but
+     * word-accelerated: ascending scans test 64 start slots per
+     * word op and skip fully-busy words outright.
+     */
+    int firstFit(int from, int to, int occupancy) const;
 
     /** Kernel length. */
     int ii() const { return ii_; }
@@ -65,10 +100,44 @@ class ModuloReservationTable
     int busyAt(int cycle) const;
 
   private:
+    /**
+     * 128 inline bytes cover every pool the Table-1 presets and the
+     * .machine corpus build (units * ceil(II/64) <= 16), keeping
+     * probe copies allocation-free; larger tables spill to the
+     * arena (or heap without one).
+     */
+    static constexpr int kInlineWords = 16;
+
     int numUnits_;
     int ii_;
     int used_ = 0;
-    std::vector<int> busy_;
+    int words_; ///< 64-bit words per plane: ceil(ii / 64)
+
+    std::uint64_t *planes_; ///< numUnits_ planes of words_ words
+    std::uint64_t inline_[kInlineWords];
+    std::vector<std::uint64_t> heap_; ///< overflow without an arena
+
+    std::uint64_t *plane(int l) { return planes_ + l * words_; }
+    const std::uint64_t *
+    plane(int l) const
+    {
+        return planes_ + l * words_;
+    }
+
+    /** Points planes_ at storage for @p total words. */
+    void attachStorage(int total, CompileArena *arena);
+
+    /** Adds one busy unit to every slot in [s0, s0+len) mod II. */
+    void incrementRange(int s0, int len);
+
+    /** Removes one busy unit from every slot in [s0, s0+len) mod II. */
+    void decrementRange(int s0, int len);
+
+    /** True when plane @p l has no bit in [s0, s0+len) mod II. */
+    bool rangeClear(int l, int s0, int len) const;
+
+    /** True when plane @p l has no bit outside [s0, s0+len) mod II. */
+    bool clearOutsideRange(int l, int s0, int len) const;
 };
 
 } // namespace gpsched

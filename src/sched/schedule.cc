@@ -50,7 +50,8 @@ PartialSchedule::PartialSchedule(const Ddg &ddg,
                                  const MachineConfig &machine, int ii,
                                  std::vector<int> planned_mem_per_cluster,
                                  double fom_threshold,
-                                 TransferPolicyOptions transfer)
+                                 TransferPolicyOptions transfer,
+                                 CompileArena *arena)
     : ddg_(ddg), machine_(machine), ii_(ii),
       fomThreshold_(fom_threshold), transfer_(transfer),
       plannedMemOps_(std::move(planned_mem_per_cluster))
@@ -64,20 +65,21 @@ PartialSchedule::PartialSchedule(const Ddg &ddg,
 
     placed_.resize(ddg_.numNodes());
     values_.resize(ddg_.numNodes());
+    claimedBusScratch_.resize(machine_.numBusClasses());
     busMrts_.reserve(machine_.numBusClasses());
     for (int i = 0; i < machine_.numBusClasses(); ++i)
-        busMrts_.emplace_back(machine_.busClass(i).count, ii);
+        busMrts_.emplace_back(machine_.busClass(i).count, ii, arena);
     fuMrt_.reserve(num_clusters * numFuClasses);
     for (int c = 0; c < num_clusters; ++c) {
         for (int cls = 0; cls < numFuClasses; ++cls) {
             fuMrt_.emplace_back(
                 machine_.fuInCluster(c, static_cast<FuClass>(cls)),
-                ii);
+                ii, arena);
         }
     }
     regs_.reserve(num_clusters);
     for (int c = 0; c < num_clusters; ++c)
-        regs_.emplace_back(machine_.regsInCluster(c), ii);
+        regs_.emplace_back(machine_.regsInCluster(c), ii, arena);
     overheadMemOps_.assign(num_clusters, 0);
     origMemOpsTotal_ =
         ddg_.totalOccupancy(FuClass::Mem, machine_.latencies());
@@ -184,35 +186,46 @@ PartialSchedule::homeReadTimeValid(const ValueState &vs, int time) const
 }
 
 std::vector<LiveSegment>
-PartialSchedule::segmentsFromState(int write_cycle,
-                                   const std::multiset<int> &events,
-                                   bool home, int arrival, bool spilled,
+PartialSchedule::segmentsFromState(int write_cycle, bool has_events,
+                                   int last_event, bool home,
+                                   int arrival, bool spilled,
                                    int spill_st, int spill_ld) const
 {
     std::vector<LiveSegment> segs;
     if (home) {
         if (!spilled) {
             int last = write_cycle;
-            if (!events.empty())
-                last = std::max(last, *events.rbegin());
+            if (has_events)
+                last = std::max(last, last_event);
             segs.push_back({write_cycle, last});
         } else {
             int reload = spill_ld +
                 machine_.latencies().latency(Opcode::SpillLd);
             segs.push_back({write_cycle, spill_st});
-            int last = INT_MIN;
-            if (!events.empty())
-                last = *events.rbegin();
+            int last = has_events ? last_event : INT_MIN;
             if (last >= reload)
                 segs.push_back({reload, last});
         }
     } else {
-        if (events.empty())
+        if (!has_events)
             return segs;
-        int last = std::max(*events.rbegin(), arrival);
+        int last = std::max(last_event, arrival);
         segs.push_back({arrival, last});
     }
     return segs;
+}
+
+std::vector<LiveSegment>
+PartialSchedule::segmentsFromState(int write_cycle,
+                                   const std::multiset<int> &events,
+                                   bool home, int arrival, bool spilled,
+                                   int spill_st, int spill_ld) const
+{
+    return segmentsFromState(write_cycle, !events.empty(),
+                             events.empty() ? INT_MIN
+                                            : *events.rbegin(),
+                             home, arrival, spilled, spill_st,
+                             spill_ld);
 }
 
 std::vector<LiveSegment>
@@ -261,6 +274,8 @@ PartialSchedule::findSlot(const ModuloReservationTable &mrt, int from,
                           const std::vector<std::pair<int, int>> &claimed,
                           int ignore_cycle, int ignore_occ)
 {
+    if (claimed.empty() && (ignore_cycle == INT_MIN || ignore_occ <= 0))
+        return mrt.firstFit(from, to, occupancy);
     ModuloReservationTable probe = mrt;
     if (ignore_cycle != INT_MIN && ignore_occ > 0)
         probe.release(ignore_cycle, ignore_occ);
@@ -269,14 +284,7 @@ PartialSchedule::findSlot(const ModuloReservationTable &mrt, int from,
             return INT_MIN; // claims already exhaust the pool
         probe.reserve(cycle, occ);
     }
-    int step = from <= to ? 1 : -1;
-    for (int cycle = from;; cycle += step) {
-        if (probe.canReserve(cycle, occupancy))
-            return cycle;
-        if (cycle == to)
-            break;
-    }
-    return INT_MIN;
+    return probe.firstFit(from, to, occupancy);
 }
 
 bool
@@ -302,10 +310,19 @@ PartialSchedule::planTransfer(NodeId producer, int dest_cluster,
 
     // Collect the slots other parts of this plan already claim, and
     // the slots freed when an existing transfer is being replaced.
-    std::vector<std::vector<std::pair<int, int>>> claimed_bus(
-        num_bus_classes);
-    std::vector<std::pair<int, int>> claimed_home_mem;
-    std::vector<std::pair<int, int>> claimed_dest_mem;
+    // The collections are persistent scratch: planTransfer runs
+    // thousands of times per compile and the steady state must not
+    // allocate.
+    std::vector<std::vector<std::pair<int, int>>> &claimed_bus =
+        claimedBusScratch_;
+    for (auto &per_class : claimed_bus)
+        per_class.clear();
+    std::vector<std::pair<int, int>> &claimed_home_mem =
+        claimedHomeMemScratch_;
+    std::vector<std::pair<int, int>> &claimed_dest_mem =
+        claimedDestMemScratch_;
+    claimed_home_mem.clear();
+    claimed_dest_mem.clear();
     if (plan.node != invalidNode &&
         fuClassOf(ddg_.node(plan.node).opcode) == FuClass::Mem) {
         int op_occ = lat.occupancy(ddg_.node(plan.node).opcode);
@@ -352,20 +369,26 @@ PartialSchedule::planTransfer(NodeId producer, int dest_cluster,
     }
 
     // The producer's spill split (if any) restricts home read times to
-    // at most two intervals.
+    // at most two intervals, so a fixed-size result avoids a heap
+    // allocation per probe.
+    struct ReadRanges
+    {
+        std::pair<int, int> r[2];
+        int n = 0;
+    };
     auto valid_ranges = [&](int lo, int hi) {
-        std::vector<std::pair<int, int>> ranges;
+        ReadRanges ranges;
         if (lo > hi)
             return ranges;
         if (!vs.spilled || producer == plan.node) {
-            ranges.push_back({lo, hi});
+            ranges.r[ranges.n++] = {lo, hi};
             return ranges;
         }
         int reload = vs.spillLd + lat.latency(Opcode::SpillLd);
         if (lo <= std::min(hi, vs.spillSt))
-            ranges.push_back({lo, std::min(hi, vs.spillSt)});
+            ranges.r[ranges.n++] = {lo, std::min(hi, vs.spillSt)};
         if (std::max(lo, reload) <= hi)
-            ranges.push_back({std::max(lo, reload), hi});
+            ranges.r[ranges.n++] = {std::max(lo, reload), hi};
         return ranges;
     };
 
@@ -380,7 +403,9 @@ PartialSchedule::planTransfer(NodeId producer, int dest_cluster,
     // fastest-first (ascending latency), the legacy greedy rule.
     auto probe_class = [&](int bc) {
         const int lat_bus = machine_.busLatencyOf(bc);
-        for (const auto &[lo, hi] : valid_ranges(ready, use - lat_bus)) {
+        const ReadRanges ranges = valid_ranges(ready, use - lat_bus);
+        for (int i = 0; i < ranges.n; ++i) {
+            const auto [lo, hi] = ranges.r[i];
             int b = findSlot(busMrts_[bc], lo, hi, lat_bus,
                              claimed_bus[bc],
                              bc == ign_bus_class ? ign_bus_cycle
@@ -413,8 +438,10 @@ PartialSchedule::planTransfer(NodeId producer, int dest_cluster,
     const ModuloReservationTable &home_mem = fu(home, FuClass::Mem);
     const ModuloReservationTable &dest_mem =
         fu(dest_cluster, FuClass::Mem);
-    for (const auto &[lo, hi] :
-         valid_ranges(ready, use - lat_ld - lat_st)) {
+    const ReadRanges mem_ranges =
+        valid_ranges(ready, use - lat_ld - lat_st);
+    for (int i = 0; i < mem_ranges.n; ++i) {
+        const auto [lo, hi] = mem_ranges.r[i];
         int st = lo;
         while (st <= hi) {
             st = findSlot(home_mem, st, hi, occ_st, claimed_home_mem,
@@ -448,9 +475,6 @@ PartialSchedule::planPlacement(NodeId v, int cluster, int cycle) const
     plan.node = v;
     plan.cluster = cluster;
     plan.cycle = cycle;
-    plan.memSlotsDelta.assign(num_clusters, 0);
-    plan.overheadMemDelta.assign(num_clusters, 0);
-    plan.regCyclesDelta.assign(num_clusters, 0);
 
     const Opcode op = ddg_.node(v).opcode;
     const LatencyTable &lat = machine_.latencies();
@@ -482,6 +506,23 @@ PartialSchedule::planPlacement(NodeId v, int cluster, int cycle) const
     const int occ = lat.occupancy(op);
     if (!fu(cluster, cls).canReserve(cycle, occ))
         return plan;
+
+    // Deltas are only read off feasible plans; allocating them after
+    // the precedence/FU early-outs keeps rejected probes free of
+    // heap traffic (the window scans reject far more than they keep).
+    plan.memSlotsDelta.assign(num_clusters, 0);
+    plan.overheadMemDelta.assign(num_clusters, 0);
+    plan.regCyclesDelta.assign(num_clusters, 0);
+
+    // Every plan vector is bounded by the node degree, so one exact
+    // reservation here replaces the doubling reallocations that used
+    // to dominate the surviving probes' allocation profile.
+    const std::size_t n_in = ddg_.inEdges(v).size();
+    const std::size_t n_out = ddg_.outEdges(v).size();
+    plan.eventAdds.reserve(n_in + n_out + 1);
+    plan.eventMoves.reserve(n_in);
+    plan.transfers.reserve(n_in + n_out);
+
     if (cls == FuClass::Mem)
         plan.memSlotsDelta[cluster] += occ;
 
@@ -513,8 +554,15 @@ PartialSchedule::planPlacement(NodeId v, int cluster, int cycle) const
     };
 
     // --- 3. incoming values -------------------------------------------
-    std::map<NodeId, std::vector<EdgeId>> cross_in;
+    // Cross-cluster producers, grouped by producer in ascending node
+    // order. A flat (producer, edge) list sorted stably replaces the
+    // former std::map<NodeId, std::vector<EdgeId>>: the iteration
+    // order (sorted keys, insertion order within a key) is identical
+    // and the placement probe loop stops allocating tree nodes.
+    std::vector<std::pair<NodeId, EdgeId>> cross_in;
+    cross_in.reserve(n_in);
     std::vector<int> own_events; // reads of v's value in its cluster
+    own_events.reserve(n_in + n_out);
     for (EdgeId eid : ddg_.inEdges(v)) {
         const DdgEdge &e = ddg_.edge(eid);
         if (!e.isFlow())
@@ -532,14 +580,24 @@ PartialSchedule::planPlacement(NodeId v, int cluster, int cycle) const
                 return plan;
             plan.eventAdds.push_back({e.src, cluster, use});
         } else {
-            cross_in[e.src].push_back(eid);
+            cross_in.emplace_back(e.src, eid);
         }
     }
-    for (const auto &[p, edges] : cross_in) {
+    std::stable_sort(cross_in.begin(), cross_in.end(),
+                     [](const std::pair<NodeId, EdgeId> &a,
+                        const std::pair<NodeId, EdgeId> &b) {
+                         return a.first < b.first;
+                     });
+    for (std::size_t gi = 0; gi < cross_in.size();) {
+        const NodeId p = cross_in[gi].first;
+        std::size_t ge = gi;
+        while (ge < cross_in.size() && cross_in[ge].first == p)
+            ++ge;
         int use_min = INT_MAX;
-        for (EdgeId eid : edges)
-            use_min = std::min(use_min,
-                               cycle + ii_ * ddg_.edge(eid).distance);
+        for (std::size_t k = gi; k < ge; ++k)
+            use_min = std::min(
+                use_min,
+                cycle + ii_ * ddg_.edge(cross_in[k].second).distance);
         const ValueState &vs = values_[p];
         auto t_it = vs.transfers.find(cluster);
         bool reuse = t_it != vs.transfers.end() &&
@@ -563,14 +621,18 @@ PartialSchedule::planPlacement(NodeId v, int cluster, int cycle) const
             add_transfer_deltas(tp, home);
             plan.transfers.push_back(tp);
         }
-        for (EdgeId eid : edges) {
+        for (std::size_t k = gi; k < ge; ++k) {
             plan.eventAdds.push_back(
-                {p, cluster, cycle + ii_ * ddg_.edge(eid).distance});
+                {p, cluster,
+                 cycle + ii_ * ddg_.edge(cross_in[k].second).distance});
         }
+        gi = ge;
     }
 
     // --- 4. outgoing values to already-scheduled consumers -------------
-    std::map<int, std::vector<int>> cross_out; // dest cluster -> uses
+    // (dest cluster, use) pairs, grouped like cross_in above.
+    std::vector<std::pair<int, int>> cross_out;
+    cross_out.reserve(n_out);
     for (EdgeId eid : ddg_.outEdges(v)) {
         const DdgEdge &e = ddg_.edge(eid);
         if (!e.isFlow() || e.dst == v || !isScheduled(e.dst))
@@ -579,10 +641,21 @@ PartialSchedule::planPlacement(NodeId v, int cluster, int cycle) const
         if (placed_[e.dst].cluster == cluster)
             own_events.push_back(use);
         else
-            cross_out[placed_[e.dst].cluster].push_back(use);
+            cross_out.emplace_back(placed_[e.dst].cluster, use);
     }
-    for (const auto &[dest, uses] : cross_out) {
-        int use_min = *std::min_element(uses.begin(), uses.end());
+    std::stable_sort(cross_out.begin(), cross_out.end(),
+                     [](const std::pair<int, int> &a,
+                        const std::pair<int, int> &b) {
+                         return a.first < b.first;
+                     });
+    for (std::size_t gi = 0; gi < cross_out.size();) {
+        const int dest = cross_out[gi].first;
+        std::size_t ge = gi;
+        int use_min = INT_MAX;
+        while (ge < cross_out.size() && cross_out[ge].first == dest) {
+            use_min = std::min(use_min, cross_out[ge].second);
+            ++ge;
+        }
         TransferPlan tp;
         if (!planTransfer(v, dest, cycle + latencyOf(v), use_min, plan,
                           tp)) {
@@ -591,8 +664,9 @@ PartialSchedule::planPlacement(NodeId v, int cluster, int cycle) const
         add_transfer_deltas(tp, cluster);
         plan.transfers.push_back(tp);
         own_events.push_back(tp.transfer.readCycle);
-        for (int use : uses)
-            plan.eventAdds.push_back({v, dest, use});
+        for (std::size_t k = gi; k < ge; ++k)
+            plan.eventAdds.push_back({v, dest, cross_out[k].second});
+        gi = ge;
     }
     if (definesValue(op)) {
         for (int t : own_events)
@@ -609,20 +683,39 @@ PartialSchedule::planPlacement(NodeId v, int cluster, int cycle) const
         std::vector<std::pair<int, int>> moves;
         const TransferPlan *newTransfer = nullptr;
     };
-    std::map<std::pair<NodeId, int>, PairDelta> touched;
+    // Flat (value, cluster) -> delta table: the handful of touched
+    // pairs per plan makes a linear probe plus one final sort cheaper
+    // than a std::map, and the sorted-key iteration below stays
+    // byte-identical to the map it replaced.
+    std::vector<std::pair<std::pair<NodeId, int>, PairDelta>> touched;
+    touched.reserve(plan.eventAdds.size() + plan.eventMoves.size() +
+                    plan.transfers.size() + 1);
+    auto touch = [&](NodeId val, int cl) -> PairDelta & {
+        for (auto &entry : touched) {
+            if (entry.first.first == val && entry.first.second == cl)
+                return entry.second;
+        }
+        touched.emplace_back(std::make_pair(val, cl), PairDelta{});
+        return touched.back().second;
+    };
     for (const auto &ea : plan.eventAdds)
-        touched[{ea.value, ea.cluster}].adds.push_back(ea.time);
+        touch(ea.value, ea.cluster).adds.push_back(ea.time);
     for (const auto &em : plan.eventMoves) {
-        touched[{em.value, em.cluster}].moves.push_back(
-            {em.oldTime, em.newTime});
+        touch(em.value, em.cluster)
+            .moves.push_back({em.oldTime, em.newTime});
     }
     for (const auto &tp : plan.transfers) {
-        touched[{tp.transfer.producer, tp.transfer.destCluster}]
+        touch(tp.transfer.producer, tp.transfer.destCluster)
             .newTransfer = &tp;
     }
     if (definesValue(op))
-        touched[{v, cluster}]; // the definition itself occupies a reg
+        touch(v, cluster); // the definition itself occupies a reg
+    std::sort(touched.begin(), touched.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
 
+    plan.pairChanges.reserve(touched.size());
     for (const auto &[key, delta] : touched) {
         const auto [val, cl] = key;
         PairChange pc;
@@ -633,19 +726,38 @@ PartialSchedule::planPlacement(NodeId v, int cluster, int cycle) const
         if (reg_it != vs.registered.end())
             pc.before = reg_it->second;
 
-        std::multiset<int> events;
+        // segmentsFromState only needs the presence and maximum of
+        // the read events, so the common no-move case derives both
+        // without copying the multiset; event moves can lower the
+        // maximum, so they fall back to a working copy.
         auto ev_it = vs.events.find(cl);
-        if (ev_it != vs.events.end())
-            events = ev_it->second;
-        for (const auto &[from, to] : delta.moves) {
-            auto pos = events.find(from);
-            GPSCHED_ASSERT(pos != events.end(),
-                           "event move of unknown time");
-            events.erase(pos);
-            events.insert(to);
+        bool has_events = false;
+        int last_event = INT_MIN;
+        if (delta.moves.empty()) {
+            if (ev_it != vs.events.end() && !ev_it->second.empty()) {
+                has_events = true;
+                last_event = *ev_it->second.rbegin();
+            }
+        } else {
+            std::multiset<int> events;
+            if (ev_it != vs.events.end())
+                events = ev_it->second;
+            for (const auto &[from, to] : delta.moves) {
+                auto pos = events.find(from);
+                GPSCHED_ASSERT(pos != events.end(),
+                               "event move of unknown time");
+                events.erase(pos);
+                events.insert(to);
+            }
+            if (!events.empty()) {
+                has_events = true;
+                last_event = *events.rbegin();
+            }
         }
-        for (int t : delta.adds)
-            events.insert(t);
+        for (int t : delta.adds) {
+            has_events = true;
+            last_event = std::max(last_event, t);
+        }
 
         bool home = val == v ? cl == cluster
                              : placed_[val].cluster == cl;
@@ -658,16 +770,19 @@ PartialSchedule::planPlacement(NodeId v, int cluster, int cycle) const
                 arrival = vs.transfers.at(cl).arrivalCycle;
         }
         bool spilled = val != v && vs.spilled;
-        pc.after = segmentsFromState(write, events, home, arrival,
-                                     spilled, vs.spillSt, vs.spillLd);
+        pc.after = segmentsFromState(write, has_events, last_event,
+                                     home, arrival, spilled,
+                                     vs.spillSt, vs.spillLd);
         plan.regCyclesDelta[cl] +=
             totalLength(pc.after) - totalLength(pc.before);
         plan.pairChanges.push_back(std::move(pc));
     }
 
     // --- 6. register feasibility per cluster ---------------------------
+    std::vector<LiveSegment> removed, added;
     for (int c = 0; c < num_clusters; ++c) {
-        std::vector<LiveSegment> removed, added;
+        removed.clear();
+        added.clear();
         for (const auto &pc : plan.pairChanges) {
             if (pc.cluster != c)
                 continue;
@@ -689,13 +804,23 @@ PlacementPlan
 PartialSchedule::planInWindow(NodeId v, int cluster, int from,
                               int to) const
 {
-    int step = from <= to ? 1 : -1;
-    for (int cycle = from;; cycle += step) {
+    const ModuloReservationTable &unit =
+        fu(cluster, fuClassOf(ddg_.node(v).opcode));
+    const int occ = occupancyOf(v);
+    const int step = from <= to ? 1 : -1;
+    for (int cycle = from;;) {
+        // A cycle whose FU pool cannot host v is infeasible no
+        // matter what, so jump straight to the next free slot
+        // (word-accelerated) instead of probing every cycle.
+        cycle = unit.firstFit(cycle, to, occ);
+        if (cycle == INT_MIN)
+            break;
         PlacementPlan plan = planPlacement(v, cluster, cycle);
         if (plan.feasible)
             return plan;
         if (cycle == to)
             break;
+        cycle += step;
     }
     PlacementPlan fail;
     fail.node = v;

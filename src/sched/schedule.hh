@@ -221,12 +221,16 @@ class PartialSchedule
      * @param transfer bus-class transfer cost model (defaults to the
      *        slack-aware policy; irrelevant on single-bus-class
      *        machines, where both policies coincide)
+     * @param arena optional per-compile arena backing the reservation
+     *        tables and lifetime trackers; must outlive the schedule
+     *        and must not be reset while it is alive (null = heap)
      */
     PartialSchedule(const Ddg &ddg, const MachineConfig &machine,
                     int ii,
                     std::vector<int> planned_mem_per_cluster = {},
                     double fom_threshold = 10.0,
-                    TransferPolicyOptions transfer = {});
+                    TransferPolicyOptions transfer = {},
+                    CompileArena *arena = nullptr);
 
     /** Initiation interval. */
     int ii() const { return ii_; }
@@ -373,6 +377,17 @@ class PartialSchedule
     double fomThreshold_;
     TransferPolicyOptions transfer_;
 
+    /**
+     * planTransfer() scratch (mutable: the method is a const
+     * feasibility probe). Cleared, never shrunk, on each call so the
+     * steady state allocates nothing. Safe because a PartialSchedule
+     * is only ever driven from one thread.
+     */
+    mutable std::vector<std::vector<std::pair<int, int>>>
+        claimedBusScratch_;
+    mutable std::vector<std::pair<int, int>> claimedHomeMemScratch_;
+    mutable std::vector<std::pair<int, int>> claimedDestMemScratch_;
+
     std::vector<PlacedOp> placed_;
     int numScheduled_ = 0;
     std::vector<ModuloReservationTable> fuMrt_; ///< cluster-major
@@ -409,7 +424,15 @@ class PartialSchedule
     /**
      * Lifetime segments of (value, cluster) given explicit logical
      * state (pure; used for both current and hypothetical states).
+     * Only the presence and the maximum of the read events matter,
+     * so the primary overload takes exactly those; the multiset
+     * overload is a convenience wrapper for callers that already
+     * hold an event set (transforms.cc).
      */
+    std::vector<LiveSegment>
+    segmentsFromState(int write_cycle, bool has_events, int last_event,
+                      bool home, int arrival, bool spilled,
+                      int spill_st, int spill_ld) const;
     std::vector<LiveSegment>
     segmentsFromState(int write_cycle, const std::multiset<int> &events,
                       bool home, int arrival, bool spilled,

@@ -62,16 +62,20 @@ reachability(const Ddg &ddg, const std::vector<bool> &from,
 
 } // namespace
 
-std::vector<NodeId>
-smsOrder(const Ddg &ddg, const DdgAnalysis &analysis)
+SmsNodeSets
+computeSmsNodeSets(const Ddg &ddg, const SccDecomposition *shared_sccs)
 {
     const int n = ddg.numNodes();
-    std::vector<NodeId> order;
+    SmsNodeSets result;
     if (n == 0)
-        return order;
-    order.reserve(n);
+        return result;
 
-    SccDecomposition sccs = computeSccs(ddg);
+    SccDecomposition own_sccs;
+    if (!shared_sccs) {
+        own_sccs = computeSccs(ddg);
+        shared_sccs = &own_sccs;
+    }
+    const SccDecomposition &sccs = *shared_sccs;
 
     // --- build the priority-ordered list of node sets -----------------
     struct NodeSet
@@ -139,13 +143,55 @@ smsOrder(const Ddg &ddg, const DdgAnalysis &analysis)
             sets.push_back(std::move(residue));
     }
 
+    result.sets.reserve(sets.size());
+    for (NodeSet &set : sets)
+        result.sets.push_back(std::move(set.nodes));
+    return result;
+}
+
+std::vector<NodeId>
+smsOrder(const Ddg &ddg, const DdgAnalysis &analysis,
+         const SmsNodeSets &node_sets)
+{
+    const int n = ddg.numNodes();
+    std::vector<NodeId> order;
+    if (n == 0)
+        return order;
+    order.reserve(n);
+
     // --- alternating sweep --------------------------------------------
+    // The ready frontier is a membership bitmap plus a count: the
+    // former std::set allocated a tree node per insert in the
+    // innermost loop of every scheduling attempt. pick() scans ids in
+    // ascending order, matching the set's iteration order, so the
+    // chosen node (and thus the whole order) is unchanged.
     std::vector<bool> ordered(n, false);
     std::vector<bool> inCurrentSet(n, false);
+    std::vector<bool> ready(n, false);
+    int readyCount = 0;
 
-    auto pick = [&](const std::set<NodeId> &ready, bool top_down) {
+    auto readyInsert = [&](NodeId v) {
+        if (!ready[v]) {
+            ready[v] = true;
+            ++readyCount;
+        }
+    };
+    auto readyErase = [&](NodeId v) {
+        if (ready[v]) {
+            ready[v] = false;
+            --readyCount;
+        }
+    };
+
+    // The frontier never leaves the current set, and sets are emitted
+    // in ascending id order (asserted below), so the scan covers the
+    // set's nodes only; the ascending order keeps tie-breaks exact.
+    const std::vector<NodeId> *current_set = nullptr;
+    auto pick = [&](bool top_down) {
         NodeId best = invalidNode;
-        for (NodeId v : ready) {
+        for (NodeId v : *current_set) {
+            if (!ready[v])
+                continue;
             if (best == invalidNode) {
                 best = v;
                 continue;
@@ -163,19 +209,25 @@ smsOrder(const Ddg &ddg, const DdgAnalysis &analysis)
                     best = v;
                 continue;
             }
-            // set iteration is ascending, so best stays the lower id
+            // the scan is ascending, so best stays the lower id
         }
         return best;
     };
 
-    for (const NodeSet &set : sets) {
-        for (NodeId v : set.nodes)
-            inCurrentSet[v] = true;
+    for (const std::vector<NodeId> &set_nodes : node_sets.sets) {
+        current_set = &set_nodes;
+        for (std::size_t i = 0; i < set_nodes.size(); ++i) {
+            GPSCHED_ASSERT(i == 0 ||
+                               set_nodes[i - 1] < set_nodes[i],
+                           "SMS node set not ascending");
+            inCurrentSet[set_nodes[i]] = true;
+        }
 
-        // Ready sets seeded from connections to already-ordered nodes.
-        auto computeSeeds = [&](bool preds_of_ordered) {
-            std::set<NodeId> seeds;
-            for (NodeId v : set.nodes) {
+        // Seeds the ready bitmap from connections to already-ordered
+        // nodes; returns the number of seeds found.
+        auto seedReady = [&](bool preds_of_ordered) {
+            int found = 0;
+            for (NodeId v : set_nodes) {
                 if (ordered[v])
                     continue;
                 const auto &edges = preds_of_ordered
@@ -185,36 +237,33 @@ smsOrder(const Ddg &ddg, const DdgAnalysis &analysis)
                     NodeId other = preds_of_ordered ? ddg.edge(e).dst
                                                     : ddg.edge(e).src;
                     if (other != v && ordered[other]) {
-                        seeds.insert(v);
+                        readyInsert(v);
+                        ++found;
                         break;
                     }
                 }
             }
-            return seeds;
+            return found;
         };
 
         std::size_t remaining = 0;
-        for (NodeId v : set.nodes) {
+        for (NodeId v : set_nodes) {
             if (!ordered[v])
                 ++remaining;
         }
 
         while (remaining > 0) {
-            std::set<NodeId> ready;
+            GPSCHED_ASSERT(readyCount == 0, "stale ready frontier");
             bool topDown;
-            std::set<NodeId> succsOfOrdered = computeSeeds(false);
-            std::set<NodeId> predsOfOrdered = computeSeeds(true);
-            if (!succsOfOrdered.empty()) {
-                ready = std::move(succsOfOrdered);
+            if (seedReady(false) > 0) {
                 topDown = true;
-            } else if (!predsOfOrdered.empty()) {
-                ready = std::move(predsOfOrdered);
+            } else if (seedReady(true) > 0) {
                 topDown = false;
             } else {
                 // Disconnected from the ordered prefix: seed with the
                 // most critical unordered node of the set.
                 NodeId seed = invalidNode;
-                for (NodeId v : set.nodes) {
+                for (NodeId v : set_nodes) {
                     if (ordered[v])
                         continue;
                     if (seed == invalidNode ||
@@ -225,15 +274,15 @@ smsOrder(const Ddg &ddg, const DdgAnalysis &analysis)
                     }
                 }
                 GPSCHED_ASSERT(seed != invalidNode, "no seed found");
-                ready.insert(seed);
+                readyInsert(seed);
                 topDown = true;
             }
 
             // Sweep in the chosen direction until the frontier dries
             // up, then flip direction (handled by the outer loop).
-            while (!ready.empty()) {
-                NodeId v = pick(ready, topDown);
-                ready.erase(v);
+            while (readyCount > 0) {
+                NodeId v = pick(topDown);
+                readyErase(v);
                 if (ordered[v])
                     continue;
                 ordered[v] = true;
@@ -246,19 +295,25 @@ smsOrder(const Ddg &ddg, const DdgAnalysis &analysis)
                                           : ddg.edge(e).src;
                     if (next != v && !ordered[next] &&
                         inCurrentSet[next]) {
-                        ready.insert(next);
+                        readyInsert(next);
                     }
                 }
             }
         }
 
-        for (NodeId v : set.nodes)
+        for (NodeId v : set_nodes)
             inCurrentSet[v] = false;
     }
 
     GPSCHED_ASSERT(static_cast<int>(order.size()) == n,
                    "ordering missed nodes: ", order.size(), " of ", n);
     return order;
+}
+
+std::vector<NodeId>
+smsOrder(const Ddg &ddg, const DdgAnalysis &analysis)
+{
+    return smsOrder(ddg, analysis, computeSmsNodeSets(ddg));
 }
 
 } // namespace gpsched

@@ -15,6 +15,13 @@
  * picks the candidate with the greatest height (most critical going
  * forward), bottom-up the greatest depth; ties prefer lower
  * mobility, then lower id (determinism).
+ *
+ * The grouping (SCCs, per-recurrence RecMII, path augmentation) is a
+ * property of the graph alone, while the sweep priorities depend on
+ * the candidate II. Schedulers probe many IIs over one DDG, so the
+ * grouping is exposed separately (computeSmsNodeSets) for reuse
+ * across attempts — the per-recurrence RecMII subgraph searches
+ * dominated scheduling profiles when recomputed per attempt.
  */
 
 #ifndef GPSCHED_SCHED_SMS_ORDER_HH
@@ -24,11 +31,34 @@
 
 #include "graph/ddg.hh"
 #include "graph/ddg_analysis.hh"
+#include "graph/scc.hh"
 
 namespace gpsched
 {
 
-/** Computes the SMS scheduling order of all nodes of @p ddg. */
+/** II-independent SMS node grouping of one DDG: recurrence sets in
+ *  decreasing-RecMII order (path-augmented), then the residue. */
+struct SmsNodeSets
+{
+    std::vector<std::vector<NodeId>> sets;
+};
+
+/**
+ * Computes the SMS node sets of @p ddg. @p sccs optionally shares a
+ * precomputed SCC decomposition (null = compute one internally).
+ */
+SmsNodeSets computeSmsNodeSets(const Ddg &ddg,
+                               const SccDecomposition *sccs = nullptr);
+
+/**
+ * Computes the SMS scheduling order of all nodes of @p ddg using the
+ * precomputed @p sets (which must come from the same graph).
+ */
+std::vector<NodeId> smsOrder(const Ddg &ddg,
+                             const DdgAnalysis &analysis,
+                             const SmsNodeSets &sets);
+
+/** Convenience form: groups and sweeps in one call. */
 std::vector<NodeId> smsOrder(const Ddg &ddg,
                              const DdgAnalysis &analysis);
 

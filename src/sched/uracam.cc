@@ -138,7 +138,10 @@ ModuloScheduler::schedule(PartialSchedule &ps, ClusterPolicy policy,
 {
     GPSCHED_ASSERT(ps.numScheduled() == 0,
                    "schedule into a non-empty partial schedule");
-    DdgAnalysis analysis(ddg_, machine_.latencies(), ps.ii());
+    if (!sccs_)
+        sccs_.emplace(computeSccs(ddg_));
+    DdgAnalysis analysis(ddg_, machine_.latencies(), ps.ii(), nullptr,
+                         &*sccs_);
     if (!analysis.feasible())
         return false;
 
@@ -152,7 +155,9 @@ ModuloScheduler::schedule(PartialSchedule &ps, ClusterPolicy policy,
             ps.runTransformations();
     };
 
-    std::vector<NodeId> order = smsOrder(ddg_, analysis);
+    if (!smsSets_)
+        smsSets_.emplace(computeSmsNodeSets(ddg_, &*sccs_));
+    std::vector<NodeId> order = smsOrder(ddg_, analysis, *smsSets_);
     for (NodeId v : order) {
         if (placeNode(ps, v, policy, assignment, analysis, false)) {
             relieveNearCritical();

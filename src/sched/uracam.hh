@@ -31,11 +31,15 @@
 #ifndef GPSCHED_SCHED_URACAM_HH
 #define GPSCHED_SCHED_URACAM_HH
 
+#include <optional>
+
 #include "graph/ddg.hh"
 #include "graph/ddg_analysis.hh"
+#include "graph/scc.hh"
 #include "machine/machine.hh"
 #include "partition/partition.hh"
 #include "sched/schedule.hh"
+#include "sched/sms_order.hh"
 
 namespace gpsched
 {
@@ -80,6 +84,15 @@ class ModuloScheduler
     const Ddg &ddg_;
     const MachineConfig &machine_;
     ModuloSchedulerOptions options_;
+
+    // The DDG is fixed for the scheduler's lifetime while the driver
+    // probes many IIs, so the II-independent per-graph work (SCC
+    // decomposition and the SMS node grouping with its per-recurrence
+    // RecMII searches) is computed once on first use and reused by
+    // every attempt. Lazily built in schedule(), hence mutable; one
+    // scheduler is only ever driven from a single compile thread.
+    mutable std::optional<SccDecomposition> sccs_;
+    mutable std::optional<SmsNodeSets> smsSets_;
 
     /**
      * Places one node; returns false when no allowed cluster accepts

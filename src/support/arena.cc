@@ -1,0 +1,72 @@
+#include "support/arena.hh"
+
+#include "support/logging.hh"
+
+namespace gpsched
+{
+
+void *
+CompileArena::allocate(std::size_t bytes, std::size_t align)
+{
+    GPSCHED_ASSERT(align != 0 && (align & (align - 1)) == 0,
+                   "alignment must be a power of two");
+    if (bytes == 0)
+        bytes = 1;
+    while (true) {
+        if (cur_ < chunks_.size()) {
+            Chunk &chunk = chunks_[cur_];
+            // Align the absolute address, not the offset: chunk
+            // bases only carry new[]'s fundamental alignment.
+            const auto base =
+                reinterpret_cast<std::uintptr_t>(chunk.data.get());
+            std::size_t aligned =
+                (((base + offset_) + align - 1) & ~(align - 1)) -
+                base;
+            if (aligned + bytes <= chunk.size) {
+                offset_ = aligned + bytes;
+                return chunk.data.get() + aligned;
+            }
+            // Current chunk exhausted: advance into an already-grown
+            // chunk when one exists (post-reset reuse), else grow.
+            if (cur_ + 1 < chunks_.size()) {
+                ++cur_;
+                offset_ = 0;
+                continue;
+            }
+        }
+        grow(bytes + align);
+    }
+}
+
+void
+CompileArena::grow(std::size_t bytes)
+{
+    std::size_t size = nextSize_;
+    if (size < bytes)
+        size = bytes;
+    nextSize_ *= 2;
+    Chunk chunk;
+    chunk.data = std::make_unique<unsigned char[]>(size);
+    chunk.size = size;
+    chunks_.push_back(std::move(chunk));
+    cur_ = chunks_.size() - 1;
+    offset_ = 0;
+}
+
+void
+CompileArena::reset()
+{
+    cur_ = 0;
+    offset_ = 0;
+}
+
+std::size_t
+CompileArena::capacityBytes() const
+{
+    std::size_t total = 0;
+    for (const Chunk &chunk : chunks_)
+        total += chunk.size;
+    return total;
+}
+
+} // namespace gpsched

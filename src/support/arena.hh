@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Per-compile bump allocation.
+ *
+ * A CompileArena owns a chain of geometrically-growing chunks and
+ * hands out pointers by bumping an offset — no per-object headers,
+ * no frees. reset() rewinds to the first chunk while *retaining*
+ * every chunk already grown, so the steady state of a compile loop
+ * (one reset per II attempt) performs zero heap allocations: the
+ * first attempt sizes the arena and every later attempt reuses it.
+ *
+ * Ownership contract (see docs/ARCHITECTURE.md, "Allocation &
+ * occupancy model"): one arena per LoopCompiler::compile call,
+ * reset only at the top of an II attempt when no arena-backed
+ * object from the previous attempt is alive. Arena-backed objects
+ * must be trivially destructible — nothing runs destructors for
+ * them — which make<T>/makeArray<T> enforce at compile time.
+ * Arenas are single-threaded by construction: they live on one
+ * compile's stack and are never shared across threads (pinned by
+ * the nightly TSan sweep over the engine suites).
+ *
+ * ArenaVector<T> is the std::vector-shaped adapter for hot-path
+ * scratch. With a null arena it falls back to plain heap storage,
+ * so default-constructed call sites (tests, benches, URACAM) keep
+ * working unchanged; with an arena it allocates from it and never
+ * frees (growth abandons the old block — reset reclaims it).
+ */
+
+#ifndef GPSCHED_SUPPORT_ARENA_HH
+#define GPSCHED_SUPPORT_ARENA_HH
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace gpsched
+{
+
+/** Chunked bump allocator scoped to one loop compilation. */
+class CompileArena
+{
+  public:
+    CompileArena() = default;
+    CompileArena(const CompileArena &) = delete;
+    CompileArena &operator=(const CompileArena &) = delete;
+
+    /** Bump-allocates @p bytes aligned to @p align. */
+    void *allocate(std::size_t bytes, std::size_t align);
+
+    /**
+     * Rewinds to empty while retaining every chunk. Every pointer
+     * previously handed out becomes invalid.
+     */
+    void reset();
+
+    /** Uninitialized array of @p n trivially-destructible Ts. */
+    template <typename T>
+    T *
+    makeArray(std::size_t n)
+    {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "arena never runs destructors");
+        return static_cast<T *>(allocate(n * sizeof(T), alignof(T)));
+    }
+
+    /** Constructs one trivially-destructible T in the arena. */
+    template <typename T, typename... Args>
+    T *
+    make(Args &&...args)
+    {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "arena never runs destructors");
+        return ::new (allocate(sizeof(T), alignof(T)))
+            T(std::forward<Args>(args)...);
+    }
+
+    /** Number of chunks grown so far. */
+    std::size_t chunkCount() const { return chunks_.size(); }
+
+    /** Total bytes of chunk capacity held. */
+    std::size_t capacityBytes() const;
+
+  private:
+    struct Chunk
+    {
+        std::unique_ptr<unsigned char[]> data;
+        std::size_t size = 0;
+    };
+
+    /** Grows a chunk that fits @p bytes and makes it current. */
+    void grow(std::size_t bytes);
+
+    std::vector<Chunk> chunks_;
+    std::size_t cur_ = 0;      ///< index of the chunk being bumped
+    std::size_t offset_ = 0;   ///< bump offset within chunks_[cur_]
+    std::size_t nextSize_ = 4096;
+};
+
+/**
+ * Minimal vector over trivially-copyable elements with optional
+ * arena backing. Deliberately not a drop-in std::vector: no
+ * iterators-stay-valid guarantees beyond std::vector's, no
+ * allocator propagation, elements must be trivially copyable and
+ * destructible.
+ */
+template <typename T>
+class ArenaVector
+{
+    static_assert(std::is_trivially_copyable_v<T> &&
+                      std::is_trivially_destructible_v<T>,
+                  "ArenaVector requires trivial elements");
+
+  public:
+    ArenaVector() = default;
+    explicit ArenaVector(CompileArena *arena) : arena_(arena) {}
+    ArenaVector(CompileArena *arena, std::size_t n, const T &value)
+        : arena_(arena)
+    {
+        assign(n, value);
+    }
+
+    ArenaVector(const ArenaVector &other) : arena_(other.arena_)
+    {
+        assignRange(other.data_, other.size_);
+    }
+
+    ArenaVector(ArenaVector &&other) noexcept
+        : arena_(other.arena_), data_(other.data_),
+          size_(other.size_), cap_(other.cap_)
+    {
+        other.data_ = nullptr;
+        other.size_ = other.cap_ = 0;
+    }
+
+    ArenaVector &
+    operator=(const ArenaVector &other)
+    {
+        if (this != &other)
+            assignRange(other.data_, other.size_);
+        return *this;
+    }
+
+    ArenaVector &
+    operator=(ArenaVector &&other) noexcept
+    {
+        if (this != &other) {
+            freeHeap();
+            arena_ = other.arena_;
+            data_ = other.data_;
+            size_ = other.size_;
+            cap_ = other.cap_;
+            other.data_ = nullptr;
+            other.size_ = other.cap_ = 0;
+        }
+        return *this;
+    }
+
+    ~ArenaVector() { freeHeap(); }
+
+    /** Replaces the contents with a copy of [src, src+n). */
+    void
+    assign(const T *src, std::size_t n)
+    {
+        assignRange(src, n);
+    }
+
+    void
+    assign(std::size_t n, const T &value)
+    {
+        reserve(n);
+        for (std::size_t i = 0; i < n; ++i)
+            data_[i] = value;
+        size_ = n;
+    }
+
+    void
+    resize(std::size_t n)
+    {
+        reserve(n);
+        for (std::size_t i = size_; i < n; ++i)
+            data_[i] = T{};
+        size_ = n;
+    }
+
+    void
+    reserve(std::size_t n)
+    {
+        if (n > cap_)
+            grow(n);
+    }
+
+    void
+    push_back(const T &value)
+    {
+        if (size_ == cap_)
+            grow(size_ + 1);
+        data_[size_++] = value;
+    }
+
+    void clear() { size_ = 0; }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    T *data() { return data_; }
+    const T *data() const { return data_; }
+    T *begin() { return data_; }
+    T *end() { return data_ + size_; }
+    const T *begin() const { return data_; }
+    const T *end() const { return data_ + size_; }
+    T &operator[](std::size_t i) { return data_[i]; }
+    const T &operator[](std::size_t i) const { return data_[i]; }
+    T &back() { return data_[size_ - 1]; }
+    const T &back() const { return data_[size_ - 1]; }
+    std::size_t capacity() const { return cap_; }
+
+  private:
+    void
+    assignRange(const T *src, std::size_t n)
+    {
+        reserve(n);
+        if (n > 0)
+            std::memcpy(data_, src, n * sizeof(T));
+        size_ = n;
+    }
+
+    void
+    grow(std::size_t need)
+    {
+        std::size_t cap = cap_ == 0 ? 8 : cap_ * 2;
+        if (cap < need)
+            cap = need;
+        T *fresh;
+        if (arena_ != nullptr) {
+            fresh = arena_->makeArray<T>(cap);
+        } else {
+            fresh = static_cast<T *>(
+                ::operator new(cap * sizeof(T), std::align_val_t(
+                                                    alignof(T))));
+        }
+        if (size_ > 0)
+            std::memcpy(fresh, data_, size_ * sizeof(T));
+        freeHeap();
+        data_ = fresh;
+        cap_ = cap;
+    }
+
+    void
+    freeHeap()
+    {
+        if (arena_ == nullptr && data_ != nullptr) {
+            ::operator delete(data_, std::align_val_t(alignof(T)));
+        }
+        data_ = nullptr;
+        cap_ = 0;
+    }
+
+    CompileArena *arena_ = nullptr;
+    T *data_ = nullptr;
+    std::size_t size_ = 0;
+    std::size_t cap_ = 0;
+};
+
+} // namespace gpsched
+
+#endif // GPSCHED_SUPPORT_ARENA_HH

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit tests for the per-compile bump allocator and ArenaVector.
+ */
+
+#include <cstdint>
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "support/arena.hh"
+
+namespace gpsched
+{
+namespace
+{
+
+TEST(CompileArena, AllocationsAreAlignedAndDisjoint)
+{
+    CompileArena arena;
+    auto *a = static_cast<unsigned char *>(arena.allocate(3, 1));
+    auto *b = static_cast<unsigned char *>(arena.allocate(8, 8));
+    auto *c = static_cast<unsigned char *>(arena.allocate(1, 64));
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 8, 0u);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c) % 64, 0u);
+    // Writes through one pointer must not alias another block.
+    std::memset(a, 0xaa, 3);
+    std::memset(b, 0xbb, 8);
+    std::memset(c, 0xcc, 1);
+    EXPECT_EQ(a[0], 0xaa);
+    EXPECT_EQ(b[7], 0xbb);
+    EXPECT_EQ(c[0], 0xcc);
+}
+
+TEST(CompileArena, ZeroByteRequestYieldsUniquePointer)
+{
+    CompileArena arena;
+    void *a = arena.allocate(0, 1);
+    void *b = arena.allocate(0, 1);
+    EXPECT_NE(a, b);
+}
+
+TEST(CompileArena, GrowsChunksGeometrically)
+{
+    CompileArena arena;
+    EXPECT_EQ(arena.chunkCount(), 0u);
+    arena.allocate(1, 1);
+    EXPECT_EQ(arena.chunkCount(), 1u);
+    const std::size_t first = arena.capacityBytes();
+    // Overflow the first chunk: a second, larger chunk appears.
+    arena.allocate(first, 1);
+    EXPECT_EQ(arena.chunkCount(), 2u);
+    EXPECT_GT(arena.capacityBytes(), 2 * first);
+}
+
+TEST(CompileArena, OversizedRequestGetsDedicatedChunk)
+{
+    CompileArena arena;
+    auto *p = arena.makeArray<std::uint64_t>(1 << 16);
+    ASSERT_NE(p, nullptr);
+    p[0] = 1;
+    p[(1 << 16) - 1] = 2;
+    EXPECT_GE(arena.capacityBytes(), (std::size_t{1} << 16) * 8);
+}
+
+TEST(CompileArena, ResetReusesChunksWithoutGrowing)
+{
+    CompileArena arena;
+    for (int i = 0; i < 64; ++i)
+        arena.allocate(1000, 8);
+    const std::size_t chunks = arena.chunkCount();
+    const std::size_t cap = arena.capacityBytes();
+    // Steady state: the same allocation pattern after reset() must
+    // be served entirely from retained chunks.
+    for (int round = 0; round < 4; ++round) {
+        arena.reset();
+        for (int i = 0; i < 64; ++i)
+            arena.allocate(1000, 8);
+        EXPECT_EQ(arena.chunkCount(), chunks);
+        EXPECT_EQ(arena.capacityBytes(), cap);
+    }
+}
+
+TEST(CompileArena, ResetRecyclesAddresses)
+{
+    CompileArena arena;
+    void *first = arena.allocate(64, 8);
+    arena.reset();
+    void *again = arena.allocate(64, 8);
+    EXPECT_EQ(first, again);
+}
+
+TEST(CompileArena, MakeConstructsInPlace)
+{
+    CompileArena arena;
+    struct Pair
+    {
+        int a;
+        int b;
+    };
+    Pair *p = arena.make<Pair>(Pair{3, 4});
+    EXPECT_EQ(p->a, 3);
+    EXPECT_EQ(p->b, 4);
+}
+
+TEST(ArenaVector, HeapFallbackWithoutArena)
+{
+    ArenaVector<int> v;
+    for (int i = 0; i < 1000; ++i)
+        v.push_back(i);
+    ASSERT_EQ(v.size(), 1000u);
+    EXPECT_EQ(v[0], 0);
+    EXPECT_EQ(v.back(), 999);
+}
+
+TEST(ArenaVector, GrowPreservesContentsOnArena)
+{
+    CompileArena arena;
+    ArenaVector<int> v(&arena);
+    for (int i = 0; i < 1000; ++i)
+        v.push_back(i * 7);
+    ASSERT_EQ(v.size(), 1000u);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(v[i], i * 7);
+}
+
+TEST(ArenaVector, AssignResizeClear)
+{
+    CompileArena arena;
+    ArenaVector<int> v(&arena, 5, 42);
+    ASSERT_EQ(v.size(), 5u);
+    EXPECT_EQ(v[4], 42);
+    v.resize(8);
+    ASSERT_EQ(v.size(), 8u);
+    EXPECT_EQ(v[7], 0);
+    v.clear();
+    EXPECT_TRUE(v.empty());
+    // clear() keeps capacity: refilling must not grow past it.
+    const std::size_t cap = v.capacity();
+    v.assign(8, 9);
+    EXPECT_EQ(v.capacity(), cap);
+    EXPECT_EQ(v[0], 9);
+}
+
+TEST(ArenaVector, CopyAndMoveSemantics)
+{
+    CompileArena arena;
+    ArenaVector<int> v(&arena);
+    for (int i = 0; i < 10; ++i)
+        v.push_back(i);
+
+    ArenaVector<int> copy(v);
+    copy[0] = 100;
+    EXPECT_EQ(v[0], 0);
+    EXPECT_EQ(copy[0], 100);
+
+    ArenaVector<int> moved(std::move(copy));
+    EXPECT_EQ(moved[0], 100);
+    EXPECT_TRUE(copy.empty()); // NOLINT: moved-from is empty
+
+    ArenaVector<int> assigned;
+    assigned = v;
+    ASSERT_EQ(assigned.size(), 10u);
+    EXPECT_EQ(assigned[9], 9);
+}
+
+} // namespace
+} // namespace gpsched

@@ -6,9 +6,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <climits>
+#include <random>
 #include <tuple>
+#include <utility>
+#include <vector>
 
 #include "sched/mrt.hh"
+#include "support/arena.hh"
 
 using namespace gpsched;
 
@@ -155,3 +161,176 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(1, 2, 4), // units
                        ::testing::Values(1, 3, 8), // ii
                        ::testing::Values(1, 2, 5)));
+
+namespace
+{
+
+/**
+ * Reference reservation table: the plain per-slot counter array the
+ * packed-plane implementation replaced. Kept here so a differential
+ * sweep can pin the two bit-identical.
+ */
+class RefMrt
+{
+  public:
+    RefMrt(int units, int ii) : units_(units), ii_(ii), busy_(ii, 0)
+    {
+    }
+
+    bool
+    canReserve(int cycle, int occ) const
+    {
+        std::vector<int> need(ii_, 0);
+        for (int k = 0; k < occ; ++k)
+            ++need[wrapSlot(cycle + k, ii_)];
+        for (int s = 0; s < ii_; ++s) {
+            if (busy_[s] + need[s] > units_)
+                return false;
+        }
+        return true;
+    }
+
+    void
+    reserve(int cycle, int occ)
+    {
+        for (int k = 0; k < occ; ++k)
+            ++busy_[wrapSlot(cycle + k, ii_)];
+        used_ += occ;
+    }
+
+    void
+    release(int cycle, int occ)
+    {
+        for (int k = 0; k < occ; ++k)
+            --busy_[wrapSlot(cycle + k, ii_)];
+        used_ -= occ;
+    }
+
+    int
+    firstFit(int from, int to, int occ) const
+    {
+        const int step = from <= to ? 1 : -1;
+        for (int c = from;; c += step) {
+            if (canReserve(c, occ))
+                return c;
+            if (c == to)
+                break;
+        }
+        return INT_MIN;
+    }
+
+    int busyAt(int cycle) const { return busy_[wrapSlot(cycle, ii_)]; }
+    int usedSlots() const { return used_; }
+
+  private:
+    int units_;
+    int ii_;
+    int used_ = 0;
+    std::vector<int> busy_;
+};
+
+} // namespace
+
+/**
+ * Differential sweep: random reserve/release streams against the
+ * reference counter-array table; every canReserve, busyAt, firstFit
+ * and utilization answer must be bit-identical. IIs straddle the
+ * 64-slot word boundaries so multi-word planes are covered.
+ */
+TEST(MrtDifferential, RandomStreamsMatchReference)
+{
+    std::mt19937 rng(0xC0FFEE);
+    const int iis[] = {1, 2, 7, 31, 63, 64, 65, 127, 128, 130};
+    for (int units : {1, 2, 3, 4, 8}) {
+        for (int ii : iis) {
+            ModuloReservationTable mrt(units, ii);
+            RefMrt ref(units, ii);
+            std::vector<std::pair<int, int>> live;
+            std::uniform_int_distribution<int> cycleDist(-3 * ii,
+                                                         4 * ii);
+            std::uniform_int_distribution<int> occDist(
+                1, std::min(3 * ii, 2 * units * ii));
+            for (int step = 0; step < 400; ++step) {
+                const int cycle = cycleDist(rng);
+                const int occ = occDist(rng);
+                ASSERT_EQ(mrt.canReserve(cycle, occ),
+                          ref.canReserve(cycle, occ))
+                    << "units=" << units << " ii=" << ii
+                    << " cycle=" << cycle << " occ=" << occ;
+                if (ref.canReserve(cycle, occ) && rng() % 4 != 0) {
+                    mrt.reserve(cycle, occ);
+                    ref.reserve(cycle, occ);
+                    live.push_back({cycle, occ});
+                } else if (!live.empty() && rng() % 3 == 0) {
+                    const std::size_t i = rng() % live.size();
+                    auto [c, o] = live[i];
+                    mrt.release(c, o);
+                    ref.release(c, o);
+                    live[i] = live.back();
+                    live.pop_back();
+                }
+                ASSERT_EQ(mrt.usedSlots(), ref.usedSlots());
+                const int probe = cycleDist(rng);
+                ASSERT_EQ(mrt.busyAt(probe), ref.busyAt(probe));
+                // firstFit parity, both scan directions.
+                const int occ2 = occDist(rng);
+                const int lo = cycleDist(rng);
+                const int hi = lo + static_cast<int>(rng() % (2 * ii));
+                ASSERT_EQ(mrt.firstFit(lo, hi, occ2),
+                          ref.firstFit(lo, hi, occ2))
+                    << "units=" << units << " ii=" << ii << " ["
+                    << lo << "," << hi << "] occ=" << occ2;
+                ASSERT_EQ(mrt.firstFit(hi, lo, occ2),
+                          ref.firstFit(hi, lo, occ2))
+                    << "units=" << units << " ii=" << ii << " ["
+                    << hi << "," << lo << "] desc occ=" << occ2;
+            }
+            for (auto [c, o] : live) {
+                mrt.release(c, o);
+                ref.release(c, o);
+            }
+            EXPECT_EQ(mrt.usedSlots(), 0);
+            for (int s = 0; s < ii; ++s)
+                ASSERT_EQ(mrt.busyAt(s), 0);
+        }
+    }
+}
+
+/** Copies must be deep: mutating one table leaves the other alone. */
+TEST(MrtDifferential, CopyIsDeep)
+{
+    ModuloReservationTable a(2, 70); // two words per plane
+    a.reserve(3, 5);
+    ModuloReservationTable b = a;
+    b.reserve(3, 5);
+    EXPECT_EQ(a.busyAt(3), 1);
+    EXPECT_EQ(b.busyAt(3), 2);
+    a = b;
+    EXPECT_EQ(a.busyAt(3), 2);
+    a.release(3, 5);
+    EXPECT_EQ(a.busyAt(3), 1);
+    EXPECT_EQ(b.busyAt(3), 2);
+}
+
+/** Arena-backed tables behave identically to heap-backed ones. */
+TEST(MrtDifferential, ArenaBackedTableMatches)
+{
+    CompileArena arena;
+    // 8 units x 3 words = 24 words: past the inline buffer.
+    ModuloReservationTable mrt(8, 130, &arena);
+    RefMrt ref(8, 130);
+    std::mt19937 rng(42);
+    std::uniform_int_distribution<int> cycleDist(-200, 400);
+    for (int step = 0; step < 200; ++step) {
+        const int cycle = cycleDist(rng);
+        const int occ = 1 + static_cast<int>(rng() % 200);
+        ASSERT_EQ(mrt.canReserve(cycle, occ),
+                  ref.canReserve(cycle, occ));
+        if (ref.canReserve(cycle, occ)) {
+            mrt.reserve(cycle, occ);
+            ref.reserve(cycle, occ);
+        }
+        const int at = cycleDist(rng);
+        ASSERT_EQ(mrt.busyAt(at), ref.busyAt(at));
+    }
+}

@@ -18,15 +18,26 @@ Understands both report schemas emitted by bench/common:
     "valueColumns", "rows": [{"labels": [...], "values": [...]}]}]}
     — the gate applies to value columns whose name contains "ipc"
     (case-insensitive), on every row;
-  * table2_sched_time's bespoke rows (timings: reported, never gated).
+  * table2_sched_time's bespoke rows (scheduling-time seconds);
+  * the engine telemetry block every driver emits ("engine":
+    {"phases": [{"phase", "wallMs", "cpuMs", "count"}, ...]}).
+
+Two gates with opposite polarity run over the flattened metrics:
+
+  * IPC gate — lower is a regression; threshold --threshold
+    (default 5%). Deterministic compilation results, so the
+    threshold is tight and per-row.
+  * time gate — *higher* is a regression; threshold
+    --time-threshold (default 50%). Applies to table2's *Seconds
+    columns and every per-phase wallMs. Wall time is noisy on
+    shared runners, so the threshold is deliberately loose: it is a
+    tripwire for structural slowdowns (an accidental O(n^2), a
+    debug-build upload), not a micro-benchmark.
 
 Gating is per metric, never per aggregate: each panel is one machine
 and each corpus-table row is one (machine, policy), so a regression
 on a single machine, program or policy can never hide behind an
-improved global or corpus mean. (Every gated quantity is a
-deterministic compilation result — there is no measurement noise to
-tolerate — which is why per-row gating at the same threshold is
-safe.)
+improved global or corpus mean.
 
 Metrics present on only one side are reported but never fail the
 gate, so renaming a configuration or adding a bench does not break
@@ -79,6 +90,12 @@ def collect_metrics(report):
                     key = f"{bench}/{label}/{column}"
                     metrics[key] = float(row[column])
 
+    for span in report.get("engine", {}).get("phases", []):
+        phase = span.get("phase", "?")
+        if "wallMs" in span:
+            metrics[f"{bench}/phase/{phase}/wallMs"] = \
+                float(span["wallMs"])
+
     return metrics
 
 
@@ -102,6 +119,17 @@ def is_gated(key):
     return "ipc" in last.lower()
 
 
+def is_time_gated(key):
+    """True for the timing metrics gated with inverted polarity:
+    table2's scheduling-time columns and the per-phase wall times of
+    every driver's engine telemetry block."""
+    parts = key.split("/")
+    if parts[-1].endswith("Seconds"):
+        return parts[0] == "table2_sched_time"
+    return len(parts) >= 3 and parts[-3] == "phase" and \
+        parts[-1] == "wallMs"
+
+
 def load_side(path):
     """Loads one side: a JSON file or a directory of BENCH_*.json."""
     if os.path.isdir(path):
@@ -121,7 +149,8 @@ def load_side(path):
         return collect_metrics(json.load(handle))
 
 
-def compare(old, new, threshold_pct, gate_all):
+def compare(old, new, threshold_pct, gate_all,
+            time_threshold_pct=50.0):
     """Returns (report_lines, failures)."""
     lines = []
     failures = []
@@ -131,11 +160,16 @@ def compare(old, new, threshold_pct, gate_all):
         if before == 0.0:
             continue
         delta_pct = 100.0 * (after - before) / abs(before)
-        gated = gate_all or is_gated(key)
         marker = " "
-        if gated and delta_pct < -threshold_pct:
-            failures.append(key)
-            marker = "!"
+        if is_time_gated(key):
+            # Inverted polarity: more time is the regression.
+            if delta_pct > time_threshold_pct:
+                failures.append(key)
+                marker = "!"
+        elif gate_all or is_gated(key):
+            if delta_pct < -threshold_pct:
+                failures.append(key)
+                marker = "!"
         if abs(delta_pct) > 0.01 or marker == "!":
             lines.append(f"{marker} {key}: {before:.4f} -> "
                          f"{after:.4f} ({delta_pct:+.2f}%)")
@@ -145,8 +179,11 @@ def compare(old, new, threshold_pct, gate_all):
         lines.append(f"+ {key}: only in NEW (ignored)")
     gated_count = sum(1 for k in shared
                       if gate_all or is_gated(k))
+    time_count = sum(1 for k in shared if is_time_gated(k))
     lines.append(f"compared {len(shared)} shared metrics "
-                 f"({gated_count} gated at {threshold_pct:.1f}%)")
+                 f"({gated_count} gated at {threshold_pct:.1f}%, "
+                 f"{time_count} time-gated at "
+                 f"{time_threshold_pct:.1f}%)")
     return lines, failures
 
 
@@ -192,6 +229,11 @@ def self_test():
     assert not is_gated(
         "bench_corpus/Transfer policy delta/hetero-2c/busClasses")
     assert not is_gated("table2_sched_time/2c/gpSeconds")
+    # Timing metrics belong to the inverted-polarity gate instead.
+    assert is_time_gated("table2_sched_time/2c/gpSeconds")
+    assert is_time_gated("fig2_ipc_lat1/phase/refine/wallMs")
+    assert not is_time_gated("ablation_unroll/t/2c/schedSeconds")
+    assert not is_time_gated("fig2_ipc_lat1/p/swim/gp")
 
     # A 3% dip passes at the default 5% threshold...
     new = dict(old)
@@ -215,6 +257,39 @@ def self_test():
     assert not failures, failures
     # ...and vanished metrics are ignored.
     _, failures = compare(old, {}, 5.0, False)
+    assert not failures, failures
+
+    # Time gate: phase spans and table2 seconds fail on *increases*
+    # past the loose time threshold, never on decreases.
+    timing = {
+        "bench": "table2_sched_time",
+        "rows": [{"configuration": "2c", "gpSeconds": 2.0}],
+        "engine": {"phases": [
+            {"phase": "refine", "wallMs": 40.0, "cpuMs": 39.0,
+             "count": 528},
+        ]},
+    }
+    old_t = collect_metrics(timing)
+    assert "table2_sched_time/2c/gpSeconds" in old_t, old_t
+    assert "table2_sched_time/phase/refine/wallMs" in old_t, old_t
+    # A 30% slowdown passes at the default 50% time threshold...
+    new_t = dict(old_t)
+    new_t["table2_sched_time/2c/gpSeconds"] = 2.0 * 1.3
+    _, failures = compare(old_t, new_t, 5.0, False)
+    assert not failures, failures
+    # ...a canary-sized 3x slowdown trips both kinds of time metric...
+    new_t["table2_sched_time/2c/gpSeconds"] = 2.0 * 3.0
+    new_t["table2_sched_time/phase/refine/wallMs"] = 40.0 * 3.0
+    _, failures = compare(old_t, new_t, 5.0, False)
+    assert sorted(failures) == [
+        "table2_sched_time/2c/gpSeconds",
+        "table2_sched_time/phase/refine/wallMs",
+    ], failures
+    # ...and a large speedup never fails the time gate.
+    new_t = dict(old_t)
+    new_t["table2_sched_time/2c/gpSeconds"] = 0.5
+    new_t["table2_sched_time/phase/refine/wallMs"] = 10.0
+    _, failures = compare(old_t, new_t, 5.0, False)
     assert not failures, failures
 
     # Per-machine corpus gating: one machine's regression fails the
@@ -262,6 +337,11 @@ def main(argv):
     parser.add_argument("--threshold", type=float, default=5.0,
                         help="max tolerated mean-IPC regression, in "
                              "percent (default 5)")
+    parser.add_argument("--time-threshold", type=float, default=50.0,
+                        help="max tolerated scheduling-time or phase "
+                             "wall-time increase, in percent "
+                             "(default 50; loose because wall time "
+                             "is noisy on shared runners)")
     parser.add_argument("--all-metrics", action="store_true",
                         help="gate every shared numeric metric, not "
                              "just mean IPC")
@@ -277,7 +357,8 @@ def main(argv):
     old = load_side(args.old)
     new = load_side(args.new)
     lines, failures = compare(old, new, args.threshold,
-                              args.all_metrics)
+                              args.all_metrics,
+                              args.time_threshold)
     for line in lines:
         print(line)
     if failures:
