@@ -65,30 +65,35 @@ struct SchemeMeans
     double gp = 0.0;
 };
 
-SchemeMeans
-sweep(Engine &engine, const std::vector<Program> &suite,
-      const MachineConfig &m, TransferCostPolicy policy)
-{
-    LoopCompilerOptions options;
-    options.transfer.costModel = policy;
-    SchemeMeans means;
-    means.uracam = compileSuite(engine, suite, m,
-                                SchedulerKind::Uracam, options)
-                       .meanIpc;
-    means.fixed = compileSuite(engine, suite, m,
-                               SchedulerKind::FixedPartition, options)
-                      .meanIpc;
-    means.gp =
-        compileSuite(engine, suite, m, SchedulerKind::Gp, options)
-            .meanIpc;
-    return means;
-}
-
 const char *
 policyName(TransferCostPolicy policy)
 {
     return policy == TransferCostPolicy::FastestFirst ? "fastest"
                                                       : "slack";
+}
+
+SchemeMeans
+sweep(Engine &engine, const std::vector<Program> &suite,
+      const MachineConfig &m, TransferCostPolicy policy, bool replay)
+{
+    LoopCompilerOptions options;
+    options.transfer.costModel = policy;
+    SchemeMeans means;
+    SuiteResult ur = compileSuite(engine, suite, m,
+                                  SchedulerKind::Uracam, options);
+    SuiteResult fx = compileSuite(
+        engine, suite, m, SchedulerKind::FixedPartition, options);
+    SuiteResult gp =
+        compileSuite(engine, suite, m, SchedulerKind::Gp, options);
+    const std::string tag =
+        m.name() + "/" + policyName(policy) + " ";
+    replaySuiteOrDie(replay, suite, ur, m, tag + "URACAM");
+    replaySuiteOrDie(replay, suite, fx, m, tag + "Fixed");
+    replaySuiteOrDie(replay, suite, gp, m, tag + "GP");
+    means.uracam = ur.meanIpc;
+    means.fixed = fx.meanIpc;
+    means.gp = gp.meanIpc;
+    return means;
 }
 
 } // namespace
@@ -144,7 +149,8 @@ main(int argc, char **argv)
         for (TransferCostPolicy policy :
              {TransferCostPolicy::FastestFirst,
               TransferCostPolicy::SlackAware}) {
-            SchemeMeans means = sweep(engine, suite, m, policy);
+            SchemeMeans means =
+                sweep(engine, suite, m, policy, options.replay);
             double gain =
                 means.fixed > 0.0
                     ? 100.0 * (means.gp / means.fixed - 1.0)

@@ -10,6 +10,7 @@
 #include "core/metrics.hh"
 #include "machine/configs.hh"
 #include "machine/registry.hh"
+#include "sim/replay.hh"
 #include "support/json.hh"
 #include "support/logging.hh"
 #include "support/table.hh"
@@ -106,10 +107,13 @@ parseBenchArgs(int argc, char **argv)
                 std::exit(2);
             }
             options.cacheDir = argv[++i];
+        } else if (arg == "--replay") {
+            options.replay = true;
         } else {
             std::cerr << argv[0] << ": unknown argument '" << arg
                       << "' (--smoke, --jobs N, --json PATH, "
-                         "--machines LIST, --cache-dir PATH)\n";
+                         "--machines LIST, --cache-dir PATH, "
+                         "--replay)\n";
             std::exit(2);
         }
     }
@@ -202,10 +206,30 @@ writeEngineStatsJson(JsonWriter &json, const Engine &engine)
 
 } // namespace
 
+void
+replaySuiteOrDie(bool enabled, const std::vector<Program> &suite,
+                 const SuiteResult &result,
+                 const MachineConfig &machine,
+                 const std::string &what)
+{
+    if (!enabled)
+        return;
+    sim::ReplayReport report =
+        sim::replaySuite(suite, result, machine);
+    std::cout << "  replay [" << what << "]: " << report.summary()
+              << "\n";
+    if (!report.ok()) {
+        const sim::ReplayMismatch &m = report.mismatches.front();
+        GPSCHED_FATAL("replay gate failed on '", what, "': ",
+                      report.mismatches.size(), " mismatches; first ",
+                      m.program, "/", m.loop, ": ", m.detail);
+    }
+}
+
 FigurePanel
 runPanel(Engine &engine, const std::vector<Program> &suite,
          const MachineConfig &clustered, const std::string &title,
-         const LoopCompilerOptions &options)
+         const LoopCompilerOptions &options, bool replay)
 {
     FigurePanel panel;
     panel.title = title;
@@ -220,6 +244,10 @@ runPanel(Engine &engine, const std::vector<Program> &suite,
                                   options);
     SuiteResult gp = compileSuite(engine, suite, clustered,
                                   SchedulerKind::Gp, options);
+    replaySuiteOrDie(replay, suite, u, unified, title + " unified");
+    replaySuiteOrDie(replay, suite, ur, clustered, title + " URACAM");
+    replaySuiteOrDie(replay, suite, fx, clustered, title + " Fixed");
+    replaySuiteOrDie(replay, suite, gp, clustered, title + " GP");
 
     for (std::size_t i = 0; i < suite.size(); ++i) {
         FigureRow row;

@@ -63,6 +63,16 @@ struct BenchOptions
      */
     std::string cacheDir;
 
+    /**
+     * Replay gate (--replay): every compiled loop of every suite run
+     * is re-executed through the cycle-accurate simulator
+     * (sim/replay.hh) and the run dies if any execution disagrees
+     * with the estimator's claimed II/cycles/IPC. The nightly corpus
+     * sweep runs with this on, so the published figures are backed
+     * by simulated executions, not just the estimator's arithmetic.
+     */
+    bool replay = false;
+
     /** Iteration counts for repeated-measurement benches. */
     int
     reps(int full) const
@@ -76,9 +86,23 @@ struct BenchOptions
 
 /**
  * Parses argv; recognizes --smoke/--jobs/--json/--machines/
- * --cache-dir; exits with status 2 on anything else.
+ * --cache-dir/--replay; exits with status 2 on anything else.
  */
 BenchOptions parseBenchArgs(int argc, char **argv);
+
+/**
+ * The --replay gate on one suite result: replays every compiled
+ * loop of @p result on @p machine (sim/replay.hh), prints the
+ * replay summary tagged @p what, and dies on any mismatch between
+ * the simulated execution and the estimator's claims. No-op when
+ * @p enabled is false, so call sites can pass options.replay
+ * straight through.
+ */
+void replaySuiteOrDie(bool enabled,
+                      const std::vector<Program> &suite,
+                      const SuiteResult &result,
+                      const MachineConfig &machine,
+                      const std::string &what);
 
 /**
  * The driver's machine sweep: every --machines entry resolved
@@ -130,13 +154,15 @@ struct FigurePanel
  * Compiles @p suite with the unified baseline (same total registers)
  * and with URACAM / Fixed / GP on @p clustered, producing the rows
  * of one Figure-2/3 panel. All four compilations run as batches on
- * @p engine.
+ * @p engine. With @p replay, every compiled loop of all four runs is
+ * re-executed through the simulator (fatal on any mismatch).
  */
 FigurePanel runPanel(Engine &engine,
                      const std::vector<Program> &suite,
                      const MachineConfig &clustered,
                      const std::string &title,
-                     const LoopCompilerOptions &options = {});
+                     const LoopCompilerOptions &options = {},
+                     bool replay = false);
 
 /** Prints @p panel as an aligned table with a gain summary. */
 void printPanel(const FigurePanel &panel);

@@ -29,18 +29,21 @@ main(int argc, char **argv)
             panels.push_back(runPanel(
                 engine, suite, twoClusterConfig(regs, 1),
                 "Figure 2(a): IPC, 2-cluster, 1 bus (latency 1), " +
-                    std::to_string(regs) + " registers"));
+                    std::to_string(regs) + " registers",
+                {}, options.replay));
         }
         for (int regs : {32, 64}) {
             panels.push_back(runPanel(
                 engine, suite, fourClusterConfig(regs, 1),
                 "Figure 2(b): IPC, 4-cluster, 1 bus (latency 1), " +
-                    std::to_string(regs) + " registers"));
+                    std::to_string(regs) + " registers",
+                {}, options.replay));
         }
     } else {
         for (const MachineConfig &m : benchMachines(options, {}))
             panels.push_back(runPanel(engine, suite, m,
-                                      "IPC on " + m.summary()));
+                                      "IPC on " + m.summary(), {},
+                                      options.replay));
     }
     for (const FigurePanel &panel : panels)
         printPanel(panel);

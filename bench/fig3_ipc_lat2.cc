@@ -27,12 +27,14 @@ main(int argc, char **argv)
             panels.push_back(runPanel(
                 engine, suite, fourClusterConfig(regs, 2),
                 "Figure 3: IPC, 4-cluster, 1 bus (latency 2), " +
-                    std::to_string(regs) + " registers"));
+                    std::to_string(regs) + " registers",
+                {}, options.replay));
         }
     } else {
         for (const MachineConfig &m : benchMachines(options, {}))
             panels.push_back(runPanel(engine, suite, m,
-                                      "IPC on " + m.summary()));
+                                      "IPC on " + m.summary(), {},
+                                      options.replay));
     }
     for (const FigurePanel &panel : panels)
         printPanel(panel);

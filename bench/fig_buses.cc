@@ -32,15 +32,21 @@ struct Row
 
 Row
 averages(Engine &engine, const std::vector<Program> &suite,
-         const MachineConfig &m)
+         const MachineConfig &m, bool replay)
 {
     Row row;
-    row.uracam =
-        compileSuite(engine, suite, m, SchedulerKind::Uracam).meanIpc;
-    row.fixed = compileSuite(engine, suite, m,
-                             SchedulerKind::FixedPartition)
-                    .meanIpc;
-    row.gp = compileSuite(engine, suite, m, SchedulerKind::Gp).meanIpc;
+    SuiteResult ur =
+        compileSuite(engine, suite, m, SchedulerKind::Uracam);
+    SuiteResult fx =
+        compileSuite(engine, suite, m, SchedulerKind::FixedPartition);
+    SuiteResult gp =
+        compileSuite(engine, suite, m, SchedulerKind::Gp);
+    replaySuiteOrDie(replay, suite, ur, m, m.name() + " URACAM");
+    replaySuiteOrDie(replay, suite, fx, m, m.name() + " Fixed");
+    replaySuiteOrDie(replay, suite, gp, m, m.name() + " GP");
+    row.uracam = ur.meanIpc;
+    row.fixed = fx.meanIpc;
+    row.gp = gp.meanIpc;
     return row;
 }
 
@@ -93,7 +99,7 @@ main(int argc, char **argv)
         for (int factor : {1, 2}) {
             MachineConfig m =
                 factor == 1 ? base : withScaledBuses(base, factor);
-            Row row = averages(engine, suite, m);
+            Row row = averages(engine, suite, m, options.replay);
             double gain = 100.0 * (row.gp / row.uracam - 1.0);
             table.addRow({base.name(),
                           std::to_string(m.numBuses()),

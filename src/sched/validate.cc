@@ -1,13 +1,14 @@
-#include "testing/validate.hh"
+#include "sched/validate.hh"
 
 #include <algorithm>
 #include <map>
 #include <sstream>
 #include <vector>
 
+#include "core/gp_scheduler.hh"
 #include "support/telemetry.hh"
 
-namespace gpsched::testing
+namespace gpsched
 {
 
 namespace
@@ -35,18 +36,140 @@ cover(int from, int to, std::vector<int> &slots)
         slots[wrap(from + i, ii)] += 1;
 }
 
+/**
+ * Uniform read-only image of a schedule, buildable from either a
+ * live PartialSchedule or a recorded CompiledLoop. Shape problems
+ * found while building (unscheduled nodes aside, which the checker
+ * reports with its historical message) are stored in @c error.
+ */
+struct ScheduleView
+{
+    int ii = 0;
+    std::string error; ///< non-empty: malformed before checking
+
+    struct PlacedAt
+    {
+        bool scheduled = false;
+        int cluster = -1;
+        int cycle = 0;
+    };
+    std::vector<PlacedAt> place;               ///< by NodeId
+    std::vector<std::map<int, Transfer>> xfer; ///< by producer
+    std::vector<SpillInfo> spill;              ///< by producer
+    ScheduleStats stats;
+    bool hasMaxLive = false;     ///< bookkeeping recount available
+    std::vector<int> bookMaxLive; ///< per cluster when hasMaxLive
+
+    template <typename... Args>
+    void
+    shapeFail(Args &&...args)
+    {
+        if (!error.empty())
+            return;
+        std::ostringstream oss;
+        (oss << ... << std::forward<Args>(args));
+        error = oss.str();
+    }
+};
+
+ScheduleView
+makeView(const Ddg &ddg, const MachineConfig &machine,
+         const PartialSchedule &ps)
+{
+    ScheduleView view;
+    view.ii = ps.ii();
+    const int n = ddg.numNodes();
+    view.place.resize(n);
+    view.xfer.resize(n);
+    view.spill.resize(n);
+    for (NodeId v = 0; v < n; ++v) {
+        if (ps.isScheduled(v)) {
+            view.place[v] = {true, ps.clusterOf(v), ps.cycleOf(v)};
+        }
+        view.xfer[v] = ps.transfersOf(v);
+        view.spill[v] = ps.spillOf(v);
+    }
+    view.stats = ps.stats();
+    view.hasMaxLive = true;
+    view.bookMaxLive.resize(machine.numClusters());
+    for (int c = 0; c < machine.numClusters(); ++c)
+        view.bookMaxLive[c] = ps.maxLive(c);
+    return view;
+}
+
+ScheduleView
+makeView(const Ddg &ddg, const MachineConfig &machine,
+         const CompiledLoop &loop)
+{
+    ScheduleView view;
+    view.ii = loop.ii;
+    const int n = ddg.numNodes();
+    view.place.resize(n);
+    view.xfer.resize(n);
+    view.spill.resize(n);
+    if (!loop.moduloScheduled) {
+        view.shapeFail("loop not modulo scheduled "
+                       "(list-scheduling fallback carries no "
+                       "placements)");
+        return view;
+    }
+    if (loop.ii < 1) {
+        view.shapeFail("bad II ", loop.ii);
+        return view;
+    }
+    if (static_cast<int>(loop.placements.size()) != n) {
+        view.shapeFail("schedule records ", loop.placements.size(),
+                       " placements for ", n, " nodes");
+        return view;
+    }
+    for (NodeId v = 0; v < n; ++v)
+        view.place[v] = {true, loop.placements[v].cluster,
+                         loop.placements[v].cycle};
+    for (const Transfer &t : loop.transfers) {
+        if (t.producer < 0 || t.producer >= n) {
+            view.shapeFail("transfer from unknown node ", t.producer);
+            return view;
+        }
+        if (t.destCluster < 0 ||
+            t.destCluster >= machine.numClusters()) {
+            view.shapeFail("transfer of ", t.producer,
+                           " to bad cluster ", t.destCluster);
+            return view;
+        }
+        if (!view.xfer[t.producer].emplace(t.destCluster, t).second) {
+            view.shapeFail("duplicate transfer of ", t.producer,
+                           " to cluster ", t.destCluster);
+            return view;
+        }
+    }
+    for (const SpillRecord &s : loop.spills) {
+        if (s.node < 0 || s.node >= n) {
+            view.shapeFail("spill of unknown node ", s.node);
+            return view;
+        }
+        if (view.spill[s.node].spilled) {
+            view.shapeFail("duplicate spill of node ", s.node);
+            return view;
+        }
+        view.spill[s.node] = {true, s.storeCycle, s.loadCycle};
+    }
+    view.stats = loop.stats;
+    view.hasMaxLive = false; // CompiledLoop records no MaxLive
+    return view;
+}
+
 struct Checker
 {
     const Ddg &ddg;
     const MachineConfig &machine;
-    const PartialSchedule &ps;
+    const ScheduleView &sv;
     const LatencyTable &lat;
     int ii;
     ValidationResult result;
 
     Checker(const Ddg &d, const MachineConfig &m,
-            const PartialSchedule &s)
-        : ddg(d), machine(m), ps(s), lat(m.latencies()), ii(s.ii())
+            const ScheduleView &v)
+        : ddg(d), machine(m), sv(v), lat(m.latencies()), ii(v.ii)
     {
     }
 
@@ -61,10 +184,19 @@ struct Checker
         return false;
     }
 
+    int cycleOf(NodeId v) const { return sv.place[v].cycle; }
+    int clusterOf(NodeId v) const { return sv.place[v].cluster; }
+
+    const std::map<int, Transfer> &
+    transfersOf(NodeId v) const
+    {
+        return sv.xfer[v];
+    }
+
     int
     writeCycle(NodeId v) const
     {
-        return ps.cycleOf(v) + lat.latency(ddg.node(v).opcode);
+        return cycleOf(v) + lat.latency(ddg.node(v).opcode);
     }
 
     /** Value-read time of edge e in the producer's iteration frame. */
@@ -72,16 +204,16 @@ struct Checker
     useCycle(EdgeId e) const
     {
         const DdgEdge &edge = ddg.edge(e);
-        return ps.cycleOf(edge.dst) + ii * edge.distance;
+        return cycleOf(edge.dst) + ii * edge.distance;
     }
 
     bool
     checkPlacements()
     {
         for (NodeId v = 0; v < ddg.numNodes(); ++v) {
-            if (!ps.isScheduled(v))
+            if (!sv.place[v].scheduled)
                 return fail("node ", v, " not scheduled");
-            int c = ps.clusterOf(v);
+            int c = clusterOf(v);
             if (c < 0 || c >= machine.numClusters())
                 return fail("node ", v, " in bad cluster ", c);
         }
@@ -93,7 +225,7 @@ struct Checker
     bool
     readOk(NodeId p, int t) const
     {
-        SpillInfo spill = ps.spillOf(p);
+        const SpillInfo &spill = sv.spill[p];
         if (!spill.spilled)
             return true;
         int reload =
@@ -106,8 +238,8 @@ struct Checker
     {
         for (EdgeId e = 0; e < ddg.numEdges(); ++e) {
             const DdgEdge &edge = ddg.edge(e);
-            int src_cycle = ps.cycleOf(edge.src);
-            int dst_cycle = ps.cycleOf(edge.dst);
+            int src_cycle = cycleOf(edge.src);
+            int dst_cycle = cycleOf(edge.dst);
             int eff = edge.latency - ii * edge.distance;
             if (dst_cycle < src_cycle + eff) {
                 return fail("edge ", e, " (", edge.src, "->",
@@ -117,7 +249,7 @@ struct Checker
             if (!edge.isFlow())
                 continue;
             int use = useCycle(e);
-            if (ps.clusterOf(edge.src) == ps.clusterOf(edge.dst)) {
+            if (clusterOf(edge.src) == clusterOf(edge.dst)) {
                 if (use < writeCycle(edge.src)) {
                     return fail("edge ", e, " reads before write: ",
                                 use, " < ", writeCycle(edge.src));
@@ -130,12 +262,12 @@ struct Checker
                 continue;
             }
             // Cross-cluster value: must travel via a transfer.
-            const auto &transfers = ps.transfersOf(edge.src);
-            auto it = transfers.find(ps.clusterOf(edge.dst));
+            const auto &transfers = transfersOf(edge.src);
+            auto it = transfers.find(clusterOf(edge.dst));
             if (it == transfers.end()) {
                 return fail("edge ", e, ": no transfer of ",
                             edge.src, " to cluster ",
-                            ps.clusterOf(edge.dst));
+                            clusterOf(edge.dst));
             }
             const Transfer &t = it->second;
             if (t.readCycle < writeCycle(edge.src)) {
@@ -185,7 +317,7 @@ struct Checker
     checkSpills()
     {
         for (NodeId v = 0; v < ddg.numNodes(); ++v) {
-            SpillInfo spill = ps.spillOf(v);
+            const SpillInfo &spill = sv.spill[v];
             if (!spill.spilled)
                 continue;
             if (!definesValue(ddg.node(v).opcode))
@@ -227,29 +359,35 @@ struct Checker
         int bus_transfers = 0, mem_transfers = 0, spills = 0;
         for (NodeId v = 0; v < ddg.numNodes(); ++v) {
             const Opcode op = ddg.node(v).opcode;
-            reserve(ps.clusterOf(v), fuClassOf(op), ps.cycleOf(v),
+            reserve(clusterOf(v), fuClassOf(op), cycleOf(v),
                     lat.occupancy(op));
-            for (const auto &[dest, t] : ps.transfersOf(v)) {
+            for (const auto &[dest, t] : transfersOf(v)) {
                 if (t.viaBus) {
                     ++bus_transfers;
+                    if (t.busClass < 0 ||
+                        t.busClass >= machine.numBusClasses()) {
+                        return fail("transfer of ", v,
+                                    " rides unknown bus class ",
+                                    t.busClass);
+                    }
                     int lat_bus = machine.busLatencyOf(t.busClass);
                     for (int i = 0; i < lat_bus; ++i)
                         bus[t.busClass][wrap(t.busCycle + i, ii)] += 1;
                 } else {
                     ++mem_transfers;
-                    reserve(ps.clusterOf(v), FuClass::Mem, t.stCycle,
+                    reserve(clusterOf(v), FuClass::Mem, t.stCycle,
                             lat.occupancy(Opcode::CommSt));
                     reserve(dest, FuClass::Mem, t.ldCycle,
                             lat.occupancy(Opcode::CommLd));
                 }
             }
-            SpillInfo spill = ps.spillOf(v);
+            const SpillInfo &spill = sv.spill[v];
             if (spill.spilled) {
                 ++spills;
-                reserve(ps.clusterOf(v), FuClass::Mem,
+                reserve(clusterOf(v), FuClass::Mem,
                         spill.storeCycle,
                         lat.occupancy(Opcode::SpillSt));
-                reserve(ps.clusterOf(v), FuClass::Mem,
+                reserve(clusterOf(v), FuClass::Mem,
                         spill.loadCycle,
                         lat.occupancy(Opcode::SpillLd));
             }
@@ -282,7 +420,7 @@ struct Checker
             }
         }
 
-        ScheduleStats stats = ps.stats();
+        const ScheduleStats &stats = sv.stats;
         if (stats.busTransfers != bus_transfers ||
             stats.memTransfers != mem_transfers ||
             stats.spills != spills) {
@@ -305,7 +443,7 @@ struct Checker
         for (NodeId v = 0; v < ddg.numNodes(); ++v) {
             if (!definesValue(ddg.node(v).opcode))
                 continue;
-            const int home = ps.clusterOf(v);
+            const int home = clusterOf(v);
             const int write = writeCycle(v);
 
             // Gather read events per cluster from consumers and
@@ -315,14 +453,14 @@ struct Checker
                 const DdgEdge &edge = ddg.edge(e);
                 if (!edge.isFlow())
                     continue;
-                events[ps.clusterOf(edge.dst)].push_back(
+                events[clusterOf(edge.dst)].push_back(
                     useCycle(e));
             }
-            for (const auto &[dest, t] : ps.transfersOf(v))
+            for (const auto &[dest, t] : transfersOf(v))
                 events[home].push_back(t.readCycle);
 
             // Home lifetime (with optional spill split).
-            SpillInfo spill = ps.spillOf(v);
+            const SpillInfo &spill = sv.spill[v];
             int home_last = write;
             for (int t : events[home])
                 home_last = std::max(home_last, t);
@@ -337,7 +475,7 @@ struct Checker
             }
 
             // Destination lifetimes: arrival to last read.
-            for (const auto &[dest, t] : ps.transfersOf(v)) {
+            for (const auto &[dest, t] : transfersOf(v)) {
                 auto it = events.find(dest);
                 if (it == events.end() || it->second.empty()) {
                     return fail("transfer of ", v, " to cluster ",
@@ -359,15 +497,28 @@ struct Checker
                             " exceeds ", machine.regsInCluster(c),
                             " registers");
             }
-            if (max_live != ps.maxLive(c)) {
+            if (sv.hasMaxLive && max_live != sv.bookMaxLive[c]) {
                 return fail("cluster ", c, " MaxLive recount ",
                             max_live, " != schedule's ",
-                            ps.maxLive(c));
+                            sv.bookMaxLive[c]);
             }
         }
         return true;
     }
 };
+
+ValidationResult
+check(const Ddg &ddg, const MachineConfig &machine,
+      const ScheduleView &view)
+{
+    if (!view.error.empty())
+        return {false, view.error};
+    Checker checker(ddg, machine, view);
+    checker.checkPlacements() && checker.checkDependences() &&
+        checker.checkSpills() && checker.checkResources() &&
+        checker.checkRegisters();
+    return checker.result;
+}
 
 } // namespace
 
@@ -376,11 +527,15 @@ validateSchedule(const Ddg &ddg, const MachineConfig &machine,
                  const PartialSchedule &schedule)
 {
     GPSCHED_PHASE_SPAN(Validate);
-    Checker checker(ddg, machine, schedule);
-    checker.checkPlacements() && checker.checkDependences() &&
-        checker.checkSpills() && checker.checkResources() &&
-        checker.checkRegisters();
-    return checker.result;
+    return check(ddg, machine, makeView(ddg, machine, schedule));
 }
 
-} // namespace gpsched::testing
+ValidationResult
+validateSchedule(const Ddg &ddg, const MachineConfig &machine,
+                 const CompiledLoop &loop)
+{
+    GPSCHED_PHASE_SPAN(Validate);
+    return check(ddg, machine, makeView(ddg, machine, loop));
+}
+
+} // namespace gpsched

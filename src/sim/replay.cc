@@ -1,0 +1,118 @@
+#include "sim/replay.hh"
+
+#include <sstream>
+
+#include "sim/sim.hh"
+
+namespace gpsched::sim
+{
+
+namespace
+{
+
+void
+mismatch(ReplayReport &report, const std::string &program,
+         const std::string &loop, std::string detail)
+{
+    report.mismatches.push_back({program, loop, std::move(detail)});
+}
+
+void
+replayOne(ReplayReport &report, const std::string &program_name,
+          const Ddg &ddg, const CompiledLoop &loop,
+          const MachineConfig &machine)
+{
+    SimResult sim = simulate(ddg, machine, loop);
+    ++report.loopsChecked;
+    if (sim.replayed)
+        ++report.loopsReplayed;
+    if (!sim.simOk) {
+        mismatch(report, program_name, loop.loopName,
+                 sim.fault ? sim.fault->toString()
+                           : std::string("replay failed"));
+        return;
+    }
+    std::ostringstream oss;
+    if (loop.moduloScheduled && sim.achievedII != loop.ii) {
+        oss << "achieved II " << sim.achievedII
+            << " != scheduled II " << loop.ii;
+        mismatch(report, program_name, loop.loopName, oss.str());
+        return;
+    }
+    if (sim.simCycles != loop.cycles) {
+        oss << "simulated " << sim.simCycles
+            << " cycles != estimated " << loop.cycles;
+        mismatch(report, program_name, loop.loopName, oss.str());
+        return;
+    }
+    if (sim.achievedIpc != loop.ipc) {
+        oss << "achieved IPC " << sim.achievedIpc
+            << " != reported IPC " << loop.ipc;
+        mismatch(report, program_name, loop.loopName, oss.str());
+    }
+}
+
+void
+replayInto(ReplayReport &report, const Program &program,
+           const ProgramResult &result, const MachineConfig &machine)
+{
+    // result.loops holds the successes in submission order; walk the
+    // program's DDGs with a cursor so skipped failures stay aligned.
+    std::size_t next = 0;
+    for (const CompiledLoop &loop : result.loops) {
+        while (next < program.loops.size() &&
+               program.loops[next].name() != loop.loopName)
+            ++next;
+        if (next == program.loops.size()) {
+            mismatch(report, program.name, loop.loopName,
+                     "compiled loop not found in the program's DDGs");
+            continue;
+        }
+        replayOne(report, program.name, program.loops[next], loop,
+                  machine);
+        ++next;
+    }
+}
+
+} // namespace
+
+std::string
+ReplayReport::summary() const
+{
+    std::ostringstream oss;
+    oss << "replayed " << loopsReplayed << "/" << loopsChecked
+        << " loops, " << mismatches.size() << " mismatches";
+    if (!mismatches.empty()) {
+        const ReplayMismatch &m = mismatches.front();
+        oss << " (first: " << m.program << "/" << m.loop << ": "
+            << m.detail << ")";
+    }
+    return oss.str();
+}
+
+ReplayReport
+replayProgram(const Program &program, const ProgramResult &result,
+              const MachineConfig &machine)
+{
+    ReplayReport report;
+    replayInto(report, program, result, machine);
+    return report;
+}
+
+ReplayReport
+replaySuite(const std::vector<Program> &suite,
+            const SuiteResult &result, const MachineConfig &machine)
+{
+    ReplayReport report;
+    for (const ProgramResult &pr : result.programs) {
+        for (const Program &p : suite) {
+            if (p.name == pr.name) {
+                replayInto(report, p, pr, machine);
+                break;
+            }
+        }
+    }
+    return report;
+}
+
+} // namespace gpsched::sim

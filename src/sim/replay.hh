@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Suite-level replay gate: re-executes every successfully compiled
+ * loop of a ProgramResult/SuiteResult through the cycle-accurate
+ * simulator (sim/sim.hh) and cross-checks the execution against the
+ * estimator's claims — achieved II must equal the scheduled II,
+ * achieved IPC must equal the reported IPC exactly, and the replay
+ * must finish without a SimFault. The benches run this behind
+ * --replay; the nightly corpus sweep fails on any mismatch.
+ */
+
+#ifndef GPSCHED_SIM_REPLAY_HH
+#define GPSCHED_SIM_REPLAY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hh"
+#include "machine/machine.hh"
+
+namespace gpsched::sim
+{
+
+/** One loop whose replay disagreed with its compile record. */
+struct ReplayMismatch
+{
+    std::string program;
+    std::string loop;
+    std::string detail;
+};
+
+/** Outcome of replaying a program or suite. */
+struct ReplayReport
+{
+    /** Loops replayed (list-scheduled loops count: their recomputed
+     *  cycles are still cross-checked). */
+    std::int64_t loopsChecked = 0;
+
+    /** Loops that actually went through the kernel replay. */
+    std::int64_t loopsReplayed = 0;
+
+    std::vector<ReplayMismatch> mismatches;
+
+    bool ok() const { return mismatches.empty(); }
+
+    /** "replayed N loops, M mismatches" (+ first mismatch detail). */
+    std::string summary() const;
+};
+
+/**
+ * Replays every compiled loop of @p result against @p machine.
+ * Loops are matched back to @p program's DDGs by name (failures
+ * recorded in result.failures are skipped, like the aggregates
+ * skip them).
+ */
+ReplayReport replayProgram(const Program &program,
+                           const ProgramResult &result,
+                           const MachineConfig &machine);
+
+/** Replays every program of a suite; aggregates into one report. */
+ReplayReport replaySuite(const std::vector<Program> &suite,
+                         const SuiteResult &result,
+                         const MachineConfig &machine);
+
+} // namespace gpsched::sim
+
+#endif // GPSCHED_SIM_REPLAY_HH

@@ -13,6 +13,12 @@
  * partition while Fixed may not, so GP reaches an II no larger than
  * Fixed's, and at the same II its global figure of merit must not
  * lose the Section-3.3.1 comparison.
+ *
+ * The cycle-accurate replay simulator (sim/sim.hh) rides the same
+ * sweeps as a second, independent oracle: every schedule is also
+ * executed, the two oracles must agree verdict-for-verdict, the
+ * replayed II must equal the schedule's II, and on compiled loops
+ * the achieved IPC must equal the reported metric exactly.
  */
 
 #include <gtest/gtest.h>
@@ -28,6 +34,7 @@
 #include "partition/multilevel.hh"
 #include "sched/fom.hh"
 #include "sched/mii.hh"
+#include "sim/sim.hh"
 #include "support/random.hh"
 #include "testing/fixtures.hh"
 #include "testing/validate.hh"
@@ -149,6 +156,20 @@ TEST(Property, EveryCompleteScheduleValidates)
                 EXPECT_TRUE(v)
                     << describe(seed, m) << " policy "
                     << static_cast<int>(policy) << ": " << v.message;
+                // Differential oracle: the replay simulator must
+                // reach the same verdict from an independent
+                // recomputation, at the schedule's own II.
+                sim::SimResult s = sim::simulate(g, m, *ps);
+                EXPECT_EQ(s.simOk, v.valid)
+                    << describe(seed, m) << " policy "
+                    << static_cast<int>(policy)
+                    << ": oracles disagree — validator says '"
+                    << v.message << "', simulator says "
+                    << (s.fault ? s.fault->toString() : "ok");
+                if (s.simOk) {
+                    EXPECT_EQ(s.achievedII, ps->ii())
+                        << describe(seed, m);
+                }
                 ++validated;
             }
         }
@@ -159,6 +180,65 @@ TEST(Property, EveryCompleteScheduleValidates)
     EXPECT_GE(validated,
               loops * static_cast<int>(machines.size()) * 3 / 2)
         << "only " << validated << " schedules validated";
+}
+
+// ---------------------------------------------------------------------
+// Differential oracle property over the full driver: every loop any
+// scheme compiles on any machine replays to exactly the metrics the
+// compiler reported — achieved II == scheduled II, achieved IPC ==
+// reported IPC (bit-exact), cycles == estimated cycles — and the
+// simulator and validator agree on every compiled record.
+// ---------------------------------------------------------------------
+
+TEST(Property, CompiledLoopsReplayToReportedMetrics)
+{
+    LatencyTable lat;
+    Rng master(0x51aab17eULL);
+    auto machines = propertyMachines();
+
+    // The full driver (partition + II search) per scheme is heavier
+    // than a single scheduleLoop, so this sweep runs half the loops.
+    const int loops = std::max(numLoops() / 2, 10);
+    int replayed = 0;
+    for (int i = 0; i < loops; ++i) {
+        std::uint64_t seed = master.next();
+        Rng rng(seed);
+        RandomLoopParams params = drawParams(rng);
+        Ddg g = randomLoop("sim" + std::to_string(i), lat, rng,
+                           params);
+        for (const MachineConfig &m : machines) {
+            for (SchedulerKind kind :
+                 {SchedulerKind::Uracam, SchedulerKind::FixedPartition,
+                  SchedulerKind::Gp}) {
+                CompiledLoop loop =
+                    LoopCompiler(m, kind).compile(g);
+                sim::SimResult s = sim::simulate(g, m, loop);
+                ASSERT_TRUE(s.simOk)
+                    << describe(seed, m) << " scheme "
+                    << toString(kind) << ": "
+                    << (s.fault ? s.fault->toString() : "");
+                EXPECT_EQ(s.simCycles, loop.cycles)
+                    << describe(seed, m) << " scheme "
+                    << toString(kind);
+                EXPECT_EQ(s.achievedIpc, loop.ipc)
+                    << describe(seed, m) << " scheme "
+                    << toString(kind);
+                if (loop.moduloScheduled) {
+                    EXPECT_EQ(s.achievedII, loop.ii)
+                        << describe(seed, m) << " scheme "
+                        << toString(kind);
+                    auto v = validateSchedule(g, m, loop);
+                    EXPECT_EQ(v.valid, s.simOk)
+                        << describe(seed, m) << " scheme "
+                        << toString(kind) << ": " << v.message;
+                    ++replayed;
+                }
+            }
+        }
+    }
+    EXPECT_GE(replayed,
+              loops * static_cast<int>(machines.size()) * 3 / 2)
+        << "only " << replayed << " kernels replayed";
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Mutation-kill tests for the oracle pair: systematic corruptions of
+ * known-good compiled schedules must be rejected by BOTH the static
+ * validator (sched/validate.hh) and the replay simulator
+ * (sim/sim.hh). Each oracle recomputes correctness independently —
+ * the validator by folding one iteration into II kernel slots, the
+ * simulator by unrolling iterations onto an absolute timeline — so a
+ * mutant surviving either one would mean that oracle is vacuous for
+ * that fault class.
+ *
+ * Mutations exercised: shift one placement across a dependence, drop
+ * a transfer, retime a transfer's arrival, swap a bus transfer onto
+ * a different-latency (and an unknown) bus class, break a spill
+ * split's store/reload ordering, and shrink a register file below
+ * the measured peak pressure.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/gp_scheduler.hh"
+#include "machine/configs.hh"
+#include "machine/registry.hh"
+#include "sched/validate.hh"
+#include "sim/sim.hh"
+#include "support/random.hh"
+#include "testing/fixtures.hh"
+#include "workload/loop_shapes.hh"
+
+using namespace gpsched;
+using namespace gpsched::testing;
+
+namespace
+{
+
+/** Compiles @p ddg with GP and asserts both oracles accept it. */
+std::optional<CompiledLoop>
+goodLoop(const Ddg &ddg, const MachineConfig &machine)
+{
+    CompiledLoop loop =
+        LoopCompiler(machine, SchedulerKind::Gp).compile(ddg);
+    if (!loop.moduloScheduled)
+        return std::nullopt;
+    ValidationResult v = validateSchedule(ddg, machine, loop);
+    EXPECT_TRUE(v.valid) << ddg.name() << " on " << machine.name()
+                         << ": " << v.message;
+    sim::SimResult s = sim::simulate(ddg, machine, loop);
+    EXPECT_TRUE(s.simOk) << ddg.name() << " on " << machine.name()
+                         << ": "
+                         << (s.fault ? s.fault->toString() : "");
+    if (!v.valid || !s.simOk)
+        return std::nullopt;
+    return loop;
+}
+
+/** Both oracles must reject @p mutant. */
+void
+expectBothReject(const Ddg &ddg, const MachineConfig &machine,
+                 const CompiledLoop &mutant, const std::string &what)
+{
+    ValidationResult v = validateSchedule(ddg, machine, mutant);
+    EXPECT_FALSE(v.valid)
+        << what << ": the validator accepted the mutant";
+    sim::SimResult s = sim::simulate(ddg, machine, mutant);
+    EXPECT_FALSE(s.simOk)
+        << what << ": the simulator accepted the mutant";
+}
+
+/**
+ * Finds a (ddg, compiled loop) pair on @p machine satisfying
+ * @p pred, scanning the fixtures and then seeded random loops so the
+ * search is deterministic.
+ */
+template <typename Pred>
+std::optional<std::pair<Ddg, CompiledLoop>>
+findLoop(const MachineConfig &machine, Pred pred)
+{
+    LatencyTable lat;
+    std::vector<Ddg> candidates;
+    candidates.push_back(chainLoop(8, lat));
+    candidates.push_back(diamondLoop(lat));
+    candidates.push_back(memHeavyLoop(6, lat));
+    Rng master(0x5131a7edULL);
+    for (int i = 0; i < 40; ++i) {
+        Rng rng(master.next());
+        RandomLoopParams params;
+        params.numOps = 10 + 2 * (i % 12);
+        params.memFraction = 0.25;
+        params.fpFraction = 0.4;
+        params.carriedProb = 0.2;
+        params.fanoutProb = 0.3;
+        params.maxDistance = 2;
+        params.tripCount = 64;
+        candidates.push_back(randomLoop("mut" + std::to_string(i),
+                                        lat, rng, params));
+    }
+    for (const Ddg &g : candidates) {
+        auto loop = goodLoop(g, machine);
+        if (loop.has_value() && pred(*loop))
+            return std::make_pair(g, std::move(*loop));
+    }
+    return std::nullopt;
+}
+
+MachineConfig
+corpusMachine(const std::string &name)
+{
+    std::vector<MachineConfig> machines =
+        MachineRegistry::builtin().resolveDirectory(
+            GPSCHED_SOURCE_DIR "/examples/machines");
+    for (MachineConfig &m : machines) {
+        if (m.name() == name)
+            return std::move(m);
+    }
+    ADD_FAILURE() << "corpus machine " << name << " missing";
+    return twoClusterConfig(32, 1);
+}
+
+} // namespace
+
+TEST(SimMutation, ShiftedPlacementRejected)
+{
+    LatencyTable lat;
+    Ddg g = diamondLoop(lat);
+    MachineConfig m = twoClusterConfig(32, 1);
+    auto loop = goodLoop(g, m);
+    ASSERT_TRUE(loop.has_value());
+
+    // Move an edge's consumer one cycle before the legal window.
+    const DdgEdge &e = g.edge(0);
+    CompiledLoop mutant = *loop;
+    mutant.placements[e.dst].cycle =
+        mutant.placements[e.src].cycle + e.latency -
+        mutant.ii * e.distance - 1;
+    expectBothReject(g, m, mutant, "shifted placement");
+}
+
+TEST(SimMutation, DroppedTransferRejected)
+{
+    MachineConfig m = twoClusterConfig(32, 1);
+    auto found = findLoop(m, [](const CompiledLoop &l) {
+        return !l.transfers.empty();
+    });
+    ASSERT_TRUE(found.has_value())
+        << "no compiled loop with a transfer found";
+    auto &[g, loop] = *found;
+
+    CompiledLoop mutant = loop;
+    mutant.transfers.erase(mutant.transfers.begin());
+    expectBothReject(g, m, mutant, "dropped transfer");
+}
+
+TEST(SimMutation, RetimedTransferRejected)
+{
+    MachineConfig m = twoClusterConfig(32, 1);
+    auto found = findLoop(m, [](const CompiledLoop &l) {
+        return !l.transfers.empty();
+    });
+    ASSERT_TRUE(found.has_value())
+        << "no compiled loop with a transfer found";
+    auto &[g, loop] = *found;
+
+    CompiledLoop mutant = loop;
+    mutant.transfers.front().arrivalCycle += 1;
+    expectBothReject(g, m, mutant, "retimed transfer");
+}
+
+TEST(SimMutation, SwappedBusClassRejected)
+{
+    MachineConfig m = corpusMachine("threetier-bus-4c");
+    ASSERT_GE(m.numBusClasses(), 2);
+    auto found = findLoop(m, [](const CompiledLoop &l) {
+        for (const Transfer &t : l.transfers) {
+            if (t.viaBus)
+                return true;
+        }
+        return false;
+    });
+    ASSERT_TRUE(found.has_value())
+        << "no compiled loop with a bus transfer found";
+    auto &[g, loop] = *found;
+
+    std::size_t idx = 0;
+    while (!loop.transfers[idx].viaBus)
+        ++idx;
+    const int old_class = loop.transfers[idx].busClass;
+
+    // Onto a class with a different latency: the recorded arrival no
+    // longer matches the ride time.
+    int other = -1;
+    for (int bc = 0; bc < m.numBusClasses(); ++bc) {
+        if (m.busLatencyOf(bc) != m.busLatencyOf(old_class))
+            other = bc;
+    }
+    ASSERT_GE(other, 0) << "all bus classes share one latency";
+    CompiledLoop mutant = loop;
+    mutant.transfers[idx].busClass = other;
+    expectBothReject(g, m, mutant, "swapped bus class");
+
+    // Off the fabric entirely.
+    CompiledLoop unknown = loop;
+    unknown.transfers[idx].busClass = m.numBusClasses();
+    expectBothReject(g, m, unknown, "unknown bus class");
+}
+
+TEST(SimMutation, BrokenSpillSplitRejected)
+{
+    LatencyTable lat;
+    MachineConfig m = corpusMachine("regstarved-4c");
+    auto found = findLoop(m, [](const CompiledLoop &l) {
+        return !l.spills.empty();
+    });
+    ASSERT_TRUE(found.has_value())
+        << "no compiled loop with a spill found";
+    auto &[g, loop] = *found;
+
+    // Reload before the store completes.
+    CompiledLoop mutant = loop;
+    SpillRecord &s = mutant.spills.front();
+    s.loadCycle = s.storeCycle - lat.latency(Opcode::SpillLd) -
+                  lat.latency(Opcode::SpillSt);
+    expectBothReject(g, m, mutant, "broken spill split");
+}
+
+TEST(SimMutation, ShrunkRegisterFileRejected)
+{
+    LatencyTable lat;
+    MachineConfig m = fourClusterConfig(64, 2);
+
+    // Find a fixture whose replay measures real register pressure
+    // (>= 2 somewhere): one register fewer must then overflow.
+    std::vector<Ddg> candidates;
+    candidates.push_back(memHeavyLoop(6, lat));
+    candidates.push_back(recurrenceLoop(lat));
+    candidates.push_back(diamondLoop(lat));
+    candidates.push_back(chainLoop(8, lat));
+    std::optional<Ddg> picked;
+    std::optional<CompiledLoop> loop;
+    sim::SimResult s;
+    for (const Ddg &g : candidates) {
+        auto candidate = goodLoop(g, m);
+        if (!candidate.has_value())
+            continue;
+        s = sim::simulate(g, m, *candidate);
+        ASSERT_TRUE(s.simOk) << g.name();
+        if (*std::max_element(s.maxLive.begin(), s.maxLive.end()) >=
+            2) {
+            picked = g;
+            loop = std::move(*candidate);
+            break;
+        }
+    }
+    ASSERT_TRUE(picked.has_value())
+        << "no fixture carries register pressure to shrink below";
+    const Ddg &g = *picked;
+    int cmax = 0;
+    for (int c = 1; c < m.numClusters(); ++c) {
+        if (s.maxLive[c] > s.maxLive[cmax])
+            cmax = c;
+    }
+
+    // Same machine, one register fewer than the measured peak on the
+    // hottest cluster.
+    std::vector<ClusterDesc> clusters;
+    for (int c = 0; c < m.numClusters(); ++c)
+        clusters.push_back(m.cluster(c));
+    clusters[cmax].regs = s.maxLive[cmax] - 1;
+    std::vector<BusDesc> buses;
+    for (int bc = 0; bc < m.numBusClasses(); ++bc)
+        buses.push_back(m.busClass(bc));
+    MachineConfig shrunk("shrunk", std::move(clusters),
+                         std::move(buses));
+    shrunk.latencies() = m.latencies();
+
+    expectBothReject(g, shrunk, *loop, "shrunk register file");
+}

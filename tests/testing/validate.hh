@@ -1,53 +1,22 @@
 /**
  * @file
- * Independent modulo-schedule validator for tests.
- *
- * Recomputes, from nothing but the public placement/transfer/spill
- * introspection of a complete PartialSchedule, every property a
- * correct modulo schedule must have, and reports the first violation
- * as a human-readable message:
- *
- *  - every node placed, clusters in range;
- *  - every dependence satisfied (order edges by issue distance; flow
- *    edges by value availability, through the transfer chain when the
- *    endpoints sit in different clusters);
- *  - spill splits never break a read;
- *  - functional units, memory ports (incl. overhead ops), and buses
- *    within capacity at every kernel slot;
- *  - register MaxLive within each cluster's file, recomputed from
- *    value lifetimes from first principles;
- *  - the schedule's own bookkeeping (maxLive, stats) agrees with the
- *    recount.
- *
- * The validator shares no code with the scheduler's internal
- * bookkeeping, which is what makes it a meaningful oracle.
+ * Source-compatibility shim: the independent schedule validator now
+ * lives in the library (src/sched/validate.hh, namespace gpsched) so
+ * the CLI, benches, and the replay simulator's differential tests
+ * can call it. Existing tests keep including this header and using
+ * gpsched::testing::validateSchedule unchanged.
  */
 
 #ifndef GPSCHED_TESTS_TESTING_VALIDATE_HH
 #define GPSCHED_TESTS_TESTING_VALIDATE_HH
 
-#include <string>
-
-#include "graph/ddg.hh"
-#include "machine/machine.hh"
-#include "sched/schedule.hh"
+#include "sched/validate.hh"
 
 namespace gpsched::testing
 {
 
-/** Validation outcome; ok() is false on the first violation. */
-struct ValidationResult
-{
-    bool valid = true;
-    std::string message;
-
-    explicit operator bool() const { return valid; }
-};
-
-/** Validates a complete schedule of @p ddg on @p machine. */
-ValidationResult validateSchedule(const Ddg &ddg,
-                                  const MachineConfig &machine,
-                                  const PartialSchedule &schedule);
+using gpsched::ValidationResult;
+using gpsched::validateSchedule;
 
 } // namespace gpsched::testing
 

@@ -26,6 +26,11 @@
  *                       rejected loop becomes an error object in the
  *                       report instead of aborting the run; exit
  *                       status is nonzero iff any loop failed
+ *     --simulate        replay every compiled loop through the
+ *                       cycle-accurate simulator (src/sim/) and add
+ *                       replayed/simOk/achievedII/achievedIpc to each
+ *                       loop row (simFault on a rejected replay);
+ *                       exit status is nonzero iff a replay fails
  *     --json PATH       report path; '-' = stdout (default '-')
  *     --stats-json PATH unified metric-registry dump (engine/cache/
  *                       disk/pool/phase counters; see
@@ -52,6 +57,7 @@
 #include "graph/textio.hh"
 #include "machine/configs.hh"
 #include "machine/registry.hh"
+#include "sim/sim.hh"
 #include "support/compile_error.hh"
 #include "support/json.hh"
 #include "support/logging.hh"
@@ -73,6 +79,7 @@ struct CliOptions
     int repeat = 1;
     std::string cacheDir;
     bool keepGoing = false;
+    bool simulate = false;
     std::string jsonPath = "-";
     std::string statsJsonPath; ///< metric-registry dump; empty = off
     std::string tracePath;     ///< Chrome trace file; empty = off
@@ -100,6 +107,10 @@ usage(const char *argv0, int status)
        << "  --keep-going     report per-loop failures as JSON error\n"
        << "                   objects instead of aborting; exit 1\n"
        << "                   iff any loop failed\n"
+       << "  --simulate       replay compiled loops through the\n"
+       << "                   cycle-accurate simulator; adds simOk/\n"
+       << "                   achievedII/achievedIpc per loop, exit 1\n"
+       << "                   iff a replay fails\n"
        << "  --json PATH      JSON report path, '-' = stdout\n"
        << "  --stats-json PATH  write the unified metric registry\n"
        << "                   (engine/disk/pool/phase) as JSON\n"
@@ -170,6 +181,8 @@ parseArgs(int argc, char **argv)
             options.cacheDir = needValue(i);
         else if (arg == "--keep-going")
             options.keepGoing = true;
+        else if (arg == "--simulate")
+            options.simulate = true;
         else if (arg == "--json")
             options.jsonPath = needValue(i);
         else if (arg == "--stats-json")
@@ -342,6 +355,7 @@ writeReport(std::ostream &os, const CliOptions &options,
             const std::vector<SchedulerKind> &schemes,
             const std::vector<InputLoop> &inputs,
             const std::vector<CompileResult> &results,
+            const std::vector<std::optional<sim::SimResult>> &sims,
             const Engine &engine)
 {
     EngineStats stats = engine.stats();
@@ -425,6 +439,26 @@ writeReport(std::ostream &os, const CliOptions &options,
             json.member("partitionRuns", loop.partitionRuns);
             json.member("scheduleAttempts", loop.scheduleAttempts);
             json.member("schedSeconds", loop.schedSeconds);
+            // --simulate: the replay verdict rides on the row. next
+            // was already advanced past this result.
+            if (sims[next - 1].has_value()) {
+                const sim::SimResult &s = *sims[next - 1];
+                json.member("replayed", s.replayed);
+                json.member("simOk", s.simOk);
+                json.member("achievedII", s.achievedII);
+                json.member("simCycles", s.simCycles);
+                json.member("achievedIpc", s.achievedIpc);
+                if (s.fault.has_value()) {
+                    json.beginObject("simFault");
+                    json.member("kind",
+                                sim::toString(s.fault->kind));
+                    json.member("cycle", s.fault->cycle);
+                    json.member("node",
+                                static_cast<int>(s.fault->node));
+                    json.member("detail", s.fault->detail);
+                    json.endObject();
+                }
+            }
             json.endObject();
         }
     }
@@ -433,6 +467,7 @@ writeReport(std::ostream &os, const CliOptions &options,
     json.member("jobs", engine.jobs());
     json.member("repeat", options.repeat);
     json.member("keepGoing", options.keepGoing);
+    json.member("simulate", options.simulate);
     json.member("jobsSubmitted", stats.jobsSubmitted);
     json.member("cacheHits", stats.cacheHits);
     json.member("cacheMisses", stats.cacheMisses);
@@ -498,7 +533,29 @@ run(int argc, char **argv)
     for (int r = 0; r < options.repeat; ++r)
         results = engine.compileBatch(batch);
 
-    bool anyFailed = false;
+    // --simulate: replay every successfully compiled loop; the
+    // verdicts ride on the report rows (parallel to results, error
+    // rows keep their error object untouched).
+    std::vector<std::optional<sim::SimResult>> sims(results.size());
+    bool simFailed = false;
+    if (options.simulate) {
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            if (!results[i].ok())
+                continue;
+            sims[i] = sim::simulate(*batch[i].loop, machine,
+                                    results[i].loop);
+            if (!sims[i]->simOk) {
+                simFailed = true;
+                GPSCHED_WARN("replay of loop '",
+                             results[i].loop.loopName, "' failed: ",
+                             sims[i]->fault
+                                 ? sims[i]->fault->toString()
+                                 : std::string("unknown fault"));
+            }
+        }
+    }
+
+    bool anyFailed = simFailed;
     for (const InputLoop &input : inputs)
         anyFailed |= !input.parsed();
     for (const CompileResult &result : results) {
@@ -513,14 +570,14 @@ run(int argc, char **argv)
 
     if (options.jsonPath == "-") {
         writeReport(std::cout, options, machine, schemes, inputs,
-                    results, engine);
+                    results, sims, engine);
     } else {
         std::ofstream out(options.jsonPath);
         if (!out)
             GPSCHED_FATAL("cannot open JSON report path '",
                           options.jsonPath, "'");
         writeReport(out, options, machine, schemes, inputs, results,
-                    engine);
+                    sims, engine);
     }
 
     if (!options.statsJsonPath.empty()) {
