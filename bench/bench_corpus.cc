@@ -112,7 +112,7 @@ main(int argc, char **argv)
     BenchOptions options =
         parseBenchArgs(static_cast<int>(args.size()), args.data());
     LatencyTable lat;
-    auto suite = benchSuite(lat, options);
+    auto suite = benchSuiteWithFuzz(lat, options);
     Engine engine(options.engineOptions());
 
     std::vector<MachineConfig> machines =

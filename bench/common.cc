@@ -14,6 +14,7 @@
 #include "support/json.hh"
 #include "support/logging.hh"
 #include "support/table.hh"
+#include "workload/fuzz.hh"
 #include "workload/specfp.hh"
 
 namespace gpsched::bench
@@ -109,11 +110,34 @@ parseBenchArgs(int argc, char **argv)
             options.cacheDir = argv[++i];
         } else if (arg == "--replay") {
             options.replay = true;
+        } else if (arg == "--fuzz") {
+            if (i + 1 >= argc) {
+                std::cerr << argv[0] << ": --fuzz needs a count\n";
+                std::exit(2);
+            }
+            options.fuzzLoops =
+                parseCount(argv[0], "--fuzz", argv[++i]);
+        } else if (arg == "--fuzz-seed") {
+            if (i + 1 >= argc) {
+                std::cerr << argv[0] << ": --fuzz-seed needs a "
+                                        "seed\n";
+                std::exit(2);
+            }
+            std::string text = argv[++i];
+            char *end = nullptr;
+            errno = 0;
+            options.fuzzSeed = std::strtoull(text.c_str(), &end, 0);
+            if (errno != 0 || end == text.c_str() || *end != '\0') {
+                std::cerr << argv[0]
+                          << ": --fuzz-seed needs an integer, got '"
+                          << text << "'\n";
+                std::exit(2);
+            }
         } else {
             std::cerr << argv[0] << ": unknown argument '" << arg
                       << "' (--smoke, --jobs N, --json PATH, "
                          "--machines LIST, --cache-dir PATH, "
-                         "--replay)\n";
+                         "--replay, --fuzz N, --fuzz-seed S)\n";
             std::exit(2);
         }
     }
@@ -167,6 +191,26 @@ benchSuite(const LatencyTable &lat, const BenchOptions &options)
         if (prog.loops.size() > maxLoops)
             prog.loops.resize(maxLoops);
     }
+    return suite;
+}
+
+std::vector<Program>
+benchSuiteWithFuzz(const LatencyTable &lat,
+                   const BenchOptions &options)
+{
+    std::vector<Program> suite = benchSuite(lat, options);
+    if (options.fuzzLoops <= 0)
+        return suite;
+    // Smoke mode shrinks the rider like it shrinks the suite.
+    int count = options.smoke ? std::min(options.fuzzLoops, 2)
+                              : options.fuzzLoops;
+    Program prog;
+    prog.name = "fuzz";
+    prog.loops.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i)
+        prog.loops.push_back(
+            fuzz::corpusCase(options.fuzzSeed, i, lat).ddg);
+    suite.push_back(std::move(prog));
     return suite;
 }
 

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * JSON loop importer: turns a compiler's node/edge/latency dump into
+ * DDGs.
+ *
+ * The accepted shape follows what a list-scheduler dump of real
+ * compiler IR looks like (the Patmos SPListScheduler model —
+ * operations with a latency each, dependence edges by node index):
+ *
+ *   {"loops": [
+ *     {"name": "daxpy", "trip": 100,
+ *      "nodes": [{"op": "load", "label": "x[i]", "latency": 3}, ...],
+ *      "edges": [{"src": 0, "dst": 2, "latency": 3,
+ *                 "distance": 0, "kind": "flow"}, ...]}]}
+ *
+ * A single loop object (detected by its "nodes" key) is accepted
+ * without the {"loops": [...]} wrapper. Per-edge "latency" overrides
+ * the producer node's "latency", which overrides the LatencyTable
+ * default; "distance" defaults to 0, "kind" to "flow", "trip" to
+ * 100, "label" to "".
+ *
+ * Every rejection — malformed JSON, NaN/infinite/negative latencies,
+ * dangling edge indices, unknown opcodes, flow edges leaving
+ * non-defining nodes, bad trip counts — throws CompileError (kind
+ * Parse) whose message carries the input file:line, so a batch
+ * front-end reports the bad loop and keeps going, exactly like the
+ * .ddg text reader.
+ */
+
+#ifndef GPSCHED_WORKLOAD_IMPORT_HH
+#define GPSCHED_WORKLOAD_IMPORT_HH
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "graph/ddg.hh"
+#include "machine/op.hh"
+
+namespace gpsched
+{
+
+/**
+ * Parses every loop of the JSON dump read from @p is. @p filename is
+ * used in diagnostics only. Throws CompileError on the first
+ * malformed loop; an importing front-end that wants keep-going
+ * semantics splits the input per loop upstream.
+ */
+std::vector<Ddg> importDdgJson(std::istream &is,
+                               const std::string &filename,
+                               const LatencyTable &lat);
+
+} // namespace gpsched
+
+#endif // GPSCHED_WORKLOAD_IMPORT_HH

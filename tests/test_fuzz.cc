@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Unit tests for the differential-fuzzing library
+ * (workload/fuzz.hh): generator determinism and corpus prefix
+ * stability, structural validity of every shape family, the
+ * two-oracle harness on a clean corpus, corruption-canary detection,
+ * and the greedy minimizer's contract (shrinks while the predicate
+ * holds, refuses non-failing input, honors the probe cap).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/textio.hh"
+#include "machine/op.hh"
+#include "machine/registry.hh"
+#include "workload/fuzz.hh"
+
+using namespace gpsched;
+using namespace gpsched::fuzz;
+
+namespace
+{
+
+constexpr std::uint64_t kSeed = 0xf022c0de5eedULL;
+constexpr const char *kMachinesDir =
+    GPSCHED_SOURCE_DIR "/examples/machines";
+
+std::string
+render(const Ddg &ddg)
+{
+    std::ostringstream os;
+    writeDdgText(os, ddg);
+    return os.str();
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Generator determinism: the seed is the whole story.
+// ---------------------------------------------------------------------
+
+TEST(Fuzz, GeneratorIsDeterministic)
+{
+    LatencyTable lat;
+    for (std::uint64_t seed :
+         {std::uint64_t(1), std::uint64_t(42), kSeed}) {
+        Ddg a = fuzzLoop("l", lat, seed);
+        Ddg b = fuzzLoop("l", lat, seed);
+        EXPECT_EQ(render(a), render(b)) << "seed " << seed;
+    }
+    // Different seeds must not collapse to one graph.
+    std::set<std::string> distinct;
+    for (std::uint64_t seed = 0; seed < 8; ++seed)
+        distinct.insert(render(fuzzLoop("l", lat, seed)));
+    EXPECT_GT(distinct.size(), 1u);
+}
+
+TEST(Fuzz, CorpusSeedsArePrefixStable)
+{
+    auto longRun = corpusSeeds(kSeed, 20);
+    auto shortRun = corpusSeeds(kSeed, 7);
+    ASSERT_EQ(longRun.size(), 20u);
+    ASSERT_EQ(shortRun.size(), 7u);
+    for (int i = 0; i < 7; ++i)
+        EXPECT_EQ(longRun[i], shortRun[i])
+            << "growing the corpus must only append cases";
+
+    // corpusCase agrees with the seed stream.
+    LatencyTable lat;
+    FuzzCase c = corpusCase(kSeed, 5, lat);
+    EXPECT_EQ(c.seed, longRun[5]);
+    EXPECT_EQ(c.index, 5);
+    EXPECT_EQ(render(c.ddg), render(fuzzLoop(c.ddg.name(), lat, c.seed)));
+}
+
+TEST(Fuzz, WriteCorpusRoundTripsThroughTextio)
+{
+    LatencyTable lat;
+    std::stringstream corpus;
+    writeCorpus(corpus, kSeed, 6, lat);
+
+    int loops = 0;
+    while (corpus >> std::ws, corpus.peek() != EOF) {
+        // Skip comment lines between blocks; readDdgText handles
+        // comments itself, this just detects end-of-stream cleanly.
+        if (corpus.peek() == '#') {
+            std::string line;
+            std::getline(corpus, line);
+            continue;
+        }
+        Ddg ddg = readDdgText(corpus);
+        FuzzCase expected = corpusCase(kSeed, loops, lat);
+        EXPECT_EQ(ddg.numNodes(), expected.ddg.numNodes());
+        EXPECT_EQ(ddg.numEdges(), expected.ddg.numEdges());
+        EXPECT_EQ(ddg.tripCount(), expected.ddg.tripCount());
+        ++loops;
+    }
+    EXPECT_EQ(loops, 6);
+}
+
+// ---------------------------------------------------------------------
+// Shape coverage and structural validity.
+// ---------------------------------------------------------------------
+
+TEST(Fuzz, EveryShapeClassAppearsInACorpus)
+{
+    LatencyTable lat;
+    std::set<ShapeClass> seen;
+    for (int i = 0; i < 120; ++i)
+        seen.insert(corpusCase(kSeed, i, lat).shape);
+    EXPECT_EQ(seen.size(),
+              static_cast<std::size_t>(ShapeClass::NumShapes))
+        << "a shape family stopped being generated";
+}
+
+TEST(Fuzz, GeneratedLoopsAreStructurallyValid)
+{
+    LatencyTable lat;
+    for (int i = 0; i < 40; ++i) {
+        FuzzCase c = corpusCase(kSeed, i, lat);
+        SCOPED_TRACE("case " + std::to_string(i) + " seed " +
+                     std::to_string(c.seed) + " shape " +
+                     toString(c.shape));
+        ASSERT_GE(c.ddg.numNodes(), 1);
+        EXPECT_GE(c.ddg.tripCount(), 1);
+        for (EdgeId e = 0; e < c.ddg.numEdges(); ++e) {
+            const DdgEdge &edge = c.ddg.edge(e);
+            ASSERT_GE(edge.src, 0);
+            ASSERT_LT(edge.src, c.ddg.numNodes());
+            ASSERT_GE(edge.dst, 0);
+            ASSERT_LT(edge.dst, c.ddg.numNodes());
+            EXPECT_GE(edge.distance, 0);
+            if (edge.src == edge.dst) {
+                EXPECT_GE(edge.distance, 1);
+            }
+            if (edge.isFlow()) {
+                // Flow edges leave defining ops and never promise
+                // less latency than the op takes (the under-latency
+                // guard would reject the loop otherwise).
+                EXPECT_TRUE(
+                    definesValue(c.ddg.node(edge.src).opcode));
+                EXPECT_GE(edge.latency,
+                          lat.latency(c.ddg.node(edge.src).opcode));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Machine list: presets stay addressable by registry name, corpus
+// machines by file path — both resolvable from a repro line.
+// ---------------------------------------------------------------------
+
+TEST(Fuzz, MachineListCoversPresetsAndCorpus)
+{
+    auto machines = fuzzMachines(kMachinesDir);
+    EXPECT_EQ(machines.size(), 13u);
+
+    std::set<std::string> names;
+    const MachineRegistry &registry = MachineRegistry::builtin();
+    for (const FuzzMachine &m : machines) {
+        names.insert(m.config.name());
+        // Every spec string must re-resolve to the same machine.
+        MachineConfig again = registry.resolve(m.spec);
+        EXPECT_EQ(again.name(), m.config.name()) << m.spec;
+    }
+    EXPECT_EQ(names.size(), machines.size())
+        << "machine names must be unique for failure reports";
+
+    EXPECT_EQ(fuzzConfigs(machines).size(), machines.size());
+    EXPECT_EQ(fuzzMachines("").size(), 3u)
+        << "empty dir must still yield the Table-1 presets";
+}
+
+// ---------------------------------------------------------------------
+// The differential harness: clean corpus passes, canaries are caught.
+// ---------------------------------------------------------------------
+
+TEST(Fuzz, CleanCorpusPassesTheTwoOracleContract)
+{
+    LatencyTable lat;
+    auto configs = fuzzConfigs(fuzzMachines(""));
+    int pairs = 0;
+    for (int i = 0; i < 8; ++i) {
+        FuzzCase c = corpusCase(kSeed, i, lat);
+        FuzzCaseResult r = runFuzzCase(c.ddg, configs);
+        for (const FuzzFailure &f : r.failures)
+            ADD_FAILURE() << "case " << i << " seed " << c.seed
+                          << ": " << f.toString();
+        pairs += r.pairsCompiled;
+    }
+    EXPECT_GT(pairs, 0);
+}
+
+TEST(Fuzz, CorruptionCanariesAreCaught)
+{
+    LatencyTable lat;
+    auto configs = fuzzConfigs(fuzzMachines(""));
+
+    // Find a case with at least one modulo-scheduled record so the
+    // cluster canary has a placement to damage.
+    int chosen = -1;
+    for (int i = 0; i < 20 && chosen < 0; ++i) {
+        FuzzCase c = corpusCase(kSeed, i, lat);
+        if (runFuzzCase(c.ddg, configs).moduloScheduled > 0)
+            chosen = i;
+    }
+    ASSERT_GE(chosen, 0);
+    Ddg ddg = corpusCase(kSeed, chosen, lat).ddg;
+
+    FuzzCaseResult cluster =
+        runFuzzCase(ddg, configs, ScheduleCorruption::ClusterOutOfRange);
+    EXPECT_FALSE(cluster.ok())
+        << "an out-of-range cluster slipped past both oracles";
+    for (const FuzzFailure &f : cluster.failures)
+        EXPECT_EQ(f.kind, FuzzVerdict::ScheduleRejected)
+            << f.toString();
+
+    FuzzCaseResult cycles =
+        runFuzzCase(ddg, configs, ScheduleCorruption::CyclesOffByOne);
+    EXPECT_FALSE(cycles.ok())
+        << "an off-by-one cycle claim slipped past the replay";
+    bool sawMetric = false;
+    for (const FuzzFailure &f : cycles.failures)
+        sawMetric |= f.kind == FuzzVerdict::MetricMismatch;
+    EXPECT_TRUE(sawMetric);
+}
+
+// ---------------------------------------------------------------------
+// Minimizer contract.
+// ---------------------------------------------------------------------
+
+TEST(Fuzz, MinimizerShrinksWhilePredicateHolds)
+{
+    LatencyTable lat;
+    // Find a roomy case so there is something to delete.
+    Ddg big("none");
+    for (int i = 0; i < 40; ++i) {
+        FuzzCase c = corpusCase(kSeed, i, lat);
+        bool hasStore = false;
+        for (NodeId n = 0; n < c.ddg.numNodes(); ++n)
+            hasStore |= c.ddg.node(n).opcode == Opcode::Store;
+        if (hasStore && c.ddg.numNodes() >= 12) {
+            big = c.ddg;
+            break;
+        }
+    }
+    ASSERT_GE(big.numNodes(), 12);
+
+    auto hasStore = [](const Ddg &d) {
+        for (NodeId n = 0; n < d.numNodes(); ++n)
+            if (d.node(n).opcode == Opcode::Store)
+                return true;
+        return false;
+    };
+
+    MinimizeStats stats;
+    Ddg reduced = minimizeDdg(big, hasStore, &stats);
+    EXPECT_TRUE(hasStore(reduced))
+        << "the result must itself satisfy the failure predicate";
+    EXPECT_EQ(reduced.numNodes(), 1)
+        << "a single store satisfies the predicate; greedy deletion "
+           "should reach it";
+    EXPECT_EQ(reduced.numEdges(), 0);
+    EXPECT_EQ(stats.nodesBefore, big.numNodes());
+    EXPECT_EQ(stats.nodesAfter, reduced.numNodes());
+    EXPECT_GT(stats.probes, 0);
+}
+
+TEST(Fuzz, MinimizerReturnsInputWhenPredicateRejectsIt)
+{
+    LatencyTable lat;
+    Ddg ddg = corpusCase(kSeed, 0, lat).ddg;
+    MinimizeStats stats;
+    Ddg out = minimizeDdg(
+        ddg, [](const Ddg &) { return false; }, &stats);
+    EXPECT_EQ(out.numNodes(), ddg.numNodes());
+    EXPECT_EQ(out.numEdges(), ddg.numEdges());
+    EXPECT_EQ(stats.probes, 1)
+        << "a non-failing input takes exactly the initial probe";
+}
+
+TEST(Fuzz, MinimizerHonorsTheProbeCap)
+{
+    LatencyTable lat;
+    Ddg ddg = corpusCase(kSeed, 0, lat).ddg;
+    ASSERT_GE(ddg.numNodes(), 4);
+    MinimizeStats stats;
+    minimizeDdg(
+        ddg, [](const Ddg &) { return true; }, &stats,
+        /*maxProbes=*/3);
+    EXPECT_LE(stats.probes, 3);
+}

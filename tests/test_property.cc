@@ -61,6 +61,31 @@ numLoops()
     return 100;
 }
 
+/**
+ * Optional per-loop seed override: when GPSCHED_PROPERTY_SEED is set
+ * (decimal or 0x-hex), every sweep iteration regenerates its loop
+ * from that seed instead of the master stream — pair it with
+ * GPSCHED_PROPERTY_LOOPS=1 and a --gtest_filter to re-run exactly
+ * one failing case. Failure messages print this reproducer line.
+ */
+std::optional<std::uint64_t>
+seedOverride()
+{
+    if (const char *env = std::getenv("GPSCHED_PROPERTY_SEED"))
+        return std::strtoull(env, nullptr, 0);
+    return std::nullopt;
+}
+
+/** Next per-loop seed: the master stream, unless overridden. */
+std::uint64_t
+drawSeed(Rng &master)
+{
+    std::uint64_t seed = master.next();
+    if (auto forced = seedOverride())
+        seed = *forced;
+    return seed;
+}
+
 /** Draws generator knobs covering the shapes the suite cares about:
  *  tiny-to-wide bodies, acyclic through deeply carried, mem-light
  *  through port-saturating, short and long trips. */
@@ -113,7 +138,18 @@ propertyMachines()
 std::string
 describe(std::uint64_t seed, const MachineConfig &m)
 {
-    return "seed " + std::to_string(seed) + " on " + m.name();
+    // Lead with the exact reproducer command line: one env pair plus
+    // the filter regenerates the failing loop without a recompile.
+    const ::testing::TestInfo *info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    std::string filter =
+        info ? std::string(info->test_suite_name()) + "." + info->name()
+             : "Property.*";
+    return "seed " + std::to_string(seed) + " on " + m.name() +
+           "\n  reproduce: GPSCHED_PROPERTY_LOOPS=1"
+           " GPSCHED_PROPERTY_SEED=" +
+           std::to_string(seed) +
+           " ./tests/test_property --gtest_filter=" + filter;
 }
 
 } // namespace
@@ -132,7 +168,7 @@ TEST(Property, EveryCompleteScheduleValidates)
     const int loops = numLoops();
     int validated = 0;
     for (int i = 0; i < loops; ++i) {
-        std::uint64_t seed = master.next();
+        std::uint64_t seed = drawSeed(master);
         Rng rng(seed);
         RandomLoopParams params = drawParams(rng);
         Ddg g = randomLoop("prop" + std::to_string(i), lat, rng,
@@ -201,7 +237,7 @@ TEST(Property, CompiledLoopsReplayToReportedMetrics)
     const int loops = std::max(numLoops() / 2, 10);
     int replayed = 0;
     for (int i = 0; i < loops; ++i) {
-        std::uint64_t seed = master.next();
+        std::uint64_t seed = drawSeed(master);
         Rng rng(seed);
         RandomLoopParams params = drawParams(rng);
         Ddg g = randomLoop("sim" + std::to_string(i), lat, rng,
@@ -257,7 +293,7 @@ TEST(Property, GpNeverTrailsFixedOnItsOwnPartition)
     const int loops = numLoops();
     int compared = 0;
     for (int i = 0; i < loops; ++i) {
-        std::uint64_t seed = master.next();
+        std::uint64_t seed = drawSeed(master);
         Rng rng(seed);
         RandomLoopParams params = drawParams(rng);
         Ddg g = randomLoop("dom" + std::to_string(i), lat, rng,

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Table-driven regression corpus: every minimized `.ddg` under
+ * tests/regress/ is compiled across all three schemes on the full
+ * fuzz machine list (Table-1 presets + examples/machines/) and held
+ * to the contract its `# expect:` directive pins:
+ *
+ *   # expect: clean          — every compiled record passes the
+ *                              two-oracle differential check
+ *   # expect: compile-error  — every machine x scheme rejects the
+ *                              loop with a recoverable CompileError
+ *   # expect-listsched: <m>  — at least one scheme takes the
+ *                              list-scheduling fallback on machine
+ *                              <m> (the shape still exercises the
+ *                              code path it was minimized to pin)
+ *
+ * Fixtures are discovered by directory scan, so pinning a new fuzz
+ * failure is: drop the minimized `.ddg` (with directives) into
+ * tests/regress/ — no test code changes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/gp_scheduler.hh"
+#include "graph/textio.hh"
+#include "support/compile_error.hh"
+#include "workload/fuzz.hh"
+
+using namespace gpsched;
+
+namespace
+{
+
+constexpr const char *kRegressDir = GPSCHED_SOURCE_DIR "/tests/regress";
+constexpr const char *kMachinesDir =
+    GPSCHED_SOURCE_DIR "/examples/machines";
+
+struct RegressCase
+{
+    std::string path;     ///< fixture file (for failure messages)
+    std::string expect;   ///< "clean" or "compile-error"
+    std::vector<std::string> listschedMachines;
+    Ddg ddg;
+};
+
+/** Reads one fixture: directive comments plus the DDG block. */
+RegressCase
+loadCase(const std::filesystem::path &path)
+{
+    RegressCase c;
+    c.path = path.string();
+
+    std::ifstream in(path);
+    EXPECT_TRUE(in) << "cannot open " << c.path;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    std::string text = buffer.str();
+
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line)) {
+        const std::string expectTag = "# expect:";
+        const std::string listschedTag = "# expect-listsched:";
+        auto tagValue = [&line](const std::string &tag) {
+            std::string v = line.substr(tag.size());
+            v.erase(0, v.find_first_not_of(" \t"));
+            v.erase(v.find_last_not_of(" \t\r") + 1);
+            return v;
+        };
+        if (line.rfind(listschedTag, 0) == 0)
+            c.listschedMachines.push_back(tagValue(listschedTag));
+        else if (line.rfind(expectTag, 0) == 0)
+            c.expect = tagValue(expectTag);
+    }
+    EXPECT_TRUE(c.expect == "clean" || c.expect == "compile-error")
+        << c.path << ": missing or unknown '# expect:' directive";
+
+    std::istringstream ddgStream(text);
+    c.ddg = readDdgText(ddgStream);
+    return c;
+}
+
+std::vector<RegressCase>
+loadAllCases()
+{
+    std::vector<std::filesystem::path> files;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(kRegressDir))
+        if (entry.path().extension() == ".ddg")
+            files.push_back(entry.path());
+    std::sort(files.begin(), files.end());
+
+    std::vector<RegressCase> cases;
+    for (const auto &f : files)
+        cases.push_back(loadCase(f));
+    return cases;
+}
+
+constexpr SchedulerKind kSchemes[] = {SchedulerKind::Uracam,
+                                      SchedulerKind::FixedPartition,
+                                      SchedulerKind::Gp};
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// The corpus exists and stays non-trivial.
+// ---------------------------------------------------------------------
+
+TEST(Regress, CorpusIsPresent)
+{
+    auto cases = loadAllCases();
+    EXPECT_GE(cases.size(), 4u)
+        << "tests/regress/ lost fixtures; the minimized corpus "
+           "should only grow";
+    for (const RegressCase &c : cases) {
+        EXPECT_GE(c.ddg.numNodes(), 1) << c.path;
+        EXPECT_FALSE(c.ddg.name().empty()) << c.path;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Every pinned case holds its contract on every machine x scheme.
+// ---------------------------------------------------------------------
+
+TEST(Regress, EveryPinnedCaseHoldsItsContract)
+{
+    auto machines = fuzz::fuzzMachines(kMachinesDir);
+    ASSERT_GE(machines.size(), 13u);
+    auto configs = fuzz::fuzzConfigs(machines);
+
+    for (const RegressCase &c : loadAllCases()) {
+        SCOPED_TRACE(c.path);
+        if (c.expect == "compile-error") {
+            // Rejection must be uniform (every pair) and recoverable
+            // (CompileError, not a crash or a silent compile).
+            auto result = fuzz::runFuzzCase(c.ddg, configs);
+            EXPECT_EQ(result.pairsCompiled, 0);
+            EXPECT_FALSE(result.failures.empty());
+            for (const fuzz::FuzzFailure &f : result.failures)
+                EXPECT_EQ(f.kind, fuzz::FuzzVerdict::CompileRejected)
+                    << f.toString();
+        } else {
+            auto result = fuzz::runFuzzCase(c.ddg, configs);
+            EXPECT_GT(result.pairsCompiled, 0);
+            for (const fuzz::FuzzFailure &f : result.failures)
+                ADD_FAILURE() << f.toString();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fixtures pinned to the list-scheduling fallback still reach it:
+// if a compiler improvement starts modulo-scheduling them, the
+// fixture no longer guards the fallback path and must be re-minimized.
+// ---------------------------------------------------------------------
+
+TEST(Regress, ListschedFixturesStillTakeTheFallback)
+{
+    auto machines = fuzz::fuzzMachines(kMachinesDir);
+    for (const RegressCase &c : loadAllCases()) {
+        for (const std::string &name : c.listschedMachines) {
+            SCOPED_TRACE(c.path + " on " + name);
+            auto it = std::find_if(
+                machines.begin(), machines.end(),
+                [&name](const fuzz::FuzzMachine &m) {
+                    return m.config.name() == name;
+                });
+            ASSERT_NE(it, machines.end())
+                << "expect-listsched machine '" << name
+                << "' is not in the fuzz machine list";
+
+            bool anyFallback = false;
+            for (SchedulerKind scheme : kSchemes) {
+                CompiledLoop loop =
+                    LoopCompiler(it->config, scheme).compile(c.ddg);
+                if (!loop.moduloScheduled)
+                    anyFallback = true;
+            }
+            EXPECT_TRUE(anyFallback)
+                << "no scheme list-schedules anymore; re-minimize "
+                   "the fixture against the current compiler";
+        }
+    }
+}

@@ -8,13 +8,20 @@
 # Without --keep-going the same file must die on the first error
 # with the historical fatal file:line diagnostic.
 #
+# A fourth case pins the resync edge condition: when the *last*
+# block of a multi-DDG file is malformed (truncated before its
+# `end`), resyncToNextBlock runs off the end of the file — the good
+# blocks before it must still compile, the truncated block must get
+# its parse error object, and the exit status must be 1.
+#
 # Variables:
 #   CLI     path to the gpsched_cli binary
 #   MIXED   the mixed good/bad fixture (mixed_loops.ddg)
 #   CLEAN   an all-good fixture (sample_loop.ddg)
+#   TRUNC   fixture whose last block is truncated (truncated_last.ddg)
 #   OUT     scratch path for the JSON report
 
-foreach(var CLI MIXED CLEAN OUT)
+foreach(var CLI MIXED CLEAN TRUNC OUT)
   if(NOT DEFINED ${var})
     message(FATAL_ERROR "check_keep_going.cmake needs -D${var}=...")
   endif()
@@ -81,6 +88,35 @@ if(NOT status STREQUAL "0")
   message(FATAL_ERROR
     "--keep-going over a clean batch must exit 0, got '${status}'\n"
     "stderr: ${err}")
+endif()
+
+# --- keep-going with a truncated *last* block ----------------------
+execute_process(
+  COMMAND ${CLI} --keep-going --json ${OUT}.trunc ${TRUNC}
+  RESULT_VARIABLE status
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+)
+if(NOT status STREQUAL "1")
+  message(FATAL_ERROR
+    "truncated-last-block batch must exit 1, got '${status}'\n"
+    "stderr: ${err}")
+endif()
+
+file(READ ${OUT}.trunc report)
+if(NOT report MATCHES "\"name\": \"trunc_good_one\"")
+  message(FATAL_ERROR "trunc_good_one missing:\n${report}")
+endif()
+if(NOT report MATCHES "\"name\": \"trunc_good_two\"")
+  message(FATAL_ERROR "trunc_good_two missing:\n${report}")
+endif()
+if(NOT report MATCHES "\"kind\": \"parse\"")
+  message(FATAL_ERROR
+    "truncated block produced no parse error object:\n${report}")
+endif()
+if(NOT report MATCHES "end of input")
+  message(FATAL_ERROR
+    "truncated block's diagnostic missing:\n${report}")
 endif()
 
 # --- without --keep-going: first error is fatal --------------------
